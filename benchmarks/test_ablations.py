@@ -1,0 +1,145 @@
+"""Ablations of Pensieve's design choices (DESIGN.md §4).
+
+Not a paper figure: these benches probe the sensitivity of the design
+parameters the paper fixes by fiat (chunk size 32, 25 % swap-out
+threshold, 10 % generation reserve, pipelined swap-in, retrieval-first
+PCIe scheduling) so downstream users know which knobs matter.
+"""
+
+import pytest
+
+from repro.core import PensieveEngine
+from repro.experiments.common import run_rate_sweep, throughput_at_latency
+from repro.gpu import A100_80GB
+from repro.model import OPT_13B
+from repro.serving import BatchConfig
+from repro.workload import SHAREGPT
+
+from benchmarks.conftest import run_once
+
+RATES = (5.0, 8.0, 11.0)
+DURATION = 250.0
+TARGET = 0.120
+
+
+def sweep(**engine_kwargs):
+    factory = lambda loop: PensieveEngine(loop, OPT_13B, A100_80GB, **engine_kwargs)
+    return run_rate_sweep(factory, SHAREGPT, RATES, duration=DURATION)
+
+
+def test_ablation_chunk_size(benchmark):
+    """Chunk sizes 8-128 all work; 32 is a good middle (small chunks cost
+    eviction-decision overhead only in the real system, large chunks
+    waste cache on partially-needed data)."""
+
+    def run():
+        return {
+            size: throughput_at_latency(sweep(chunk_size=size), TARGET)
+            for size in (8, 32, 128)
+        }
+
+    results = run_once(benchmark, run)
+    print(f"\nchunk-size ablation (thr@120ms): {results}")
+    best = max(results.values())
+    assert all(thr > 0.8 * best for thr in results.values())
+
+
+def test_ablation_swap_threshold(benchmark):
+    """Ahead-of-time swapping must not be disabled: a 0 % threshold makes
+    every admission wait for demand copies."""
+
+    def run():
+        out = {}
+        for threshold in (0.0, 0.10, 0.25, 0.50):
+            cfg = BatchConfig(swap_out_threshold=threshold)
+            out[threshold] = throughput_at_latency(
+                sweep(batch_config=cfg), TARGET
+            )
+        return out
+
+    results = run_once(benchmark, run)
+    print(f"\nswap-threshold ablation (thr@120ms): {results}")
+    assert results[0.25] >= 0.95 * max(results.values())
+    assert results[0.0] <= results[0.25]
+
+
+def test_ablation_generation_reserve(benchmark):
+    """The 10 % reserve trades a little admission throughput for far fewer
+    suspensions."""
+
+    def run():
+        out = {}
+        for reserve in (0.0, 0.10, 0.25):
+            cfg = BatchConfig(generation_reserve=reserve)
+            points = run_rate_sweep(
+                lambda loop: PensieveEngine(
+                    loop, OPT_13B, A100_80GB, batch_config=cfg
+                ),
+                SHAREGPT,
+                RATES,
+                duration=DURATION,
+                extras_fn=lambda e: {"suspensions": e.suspensions},
+            )
+            out[reserve] = (
+                throughput_at_latency(points, TARGET),
+                sum(p.extras["suspensions"] for p in points),
+            )
+        return out
+
+    results = run_once(benchmark, run)
+    print(f"\nreserve ablation (thr@120ms, suspensions): {results}")
+    # Reserving more slots never increases suspensions.
+    assert results[0.25][1] <= results[0.0][1]
+    # And the default does not sacrifice much throughput vs no reserve.
+    assert results[0.10][0] > 0.85 * results[0.0][0]
+
+
+def test_ablation_pipelined_swap_in(benchmark):
+    """§4.3.3: pipelining the per-layer transfer hides swap-in latency."""
+
+    def run():
+        pipelined = throughput_at_latency(sweep(pipelined_swap_in=True), TARGET)
+        blocking = throughput_at_latency(sweep(pipelined_swap_in=False), TARGET)
+        return pipelined, blocking
+
+    pipelined, blocking = run_once(benchmark, run)
+    print(f"\npipelined={pipelined:.2f} vs blocking={blocking:.2f} req/s @120ms")
+    assert pipelined >= blocking
+
+
+def test_ablation_retrieval_priority(benchmark):
+    """§5: waiting with evictions while retrievals are in flight must not
+    hurt (and typically helps latency)."""
+
+    def run():
+        on = sweep(prioritize_retrieval=True)
+        off = sweep(prioritize_retrieval=False)
+        return (
+            throughput_at_latency(on, TARGET),
+            throughput_at_latency(off, TARGET),
+        )
+
+    on, off = run_once(benchmark, run)
+    print(f"\nretrieval-priority on={on:.2f} vs off={off:.2f} req/s @120ms")
+    assert on >= 0.95 * off
+
+
+def test_ablation_eviction_granularity(benchmark):
+    """Table 3 contrast: Pensieve's token-chunk eviction vs
+    CachedAttention-style whole-conversation eviction.  Coarse eviction
+    overshoots (it throws away trailing tokens that were about to be
+    reused), so chunk granularity should never lose."""
+
+    def run():
+        chunk = throughput_at_latency(
+            sweep(whole_conversation_eviction=False), TARGET
+        )
+        whole = throughput_at_latency(
+            sweep(whole_conversation_eviction=True), TARGET
+        )
+        return chunk, whole
+
+    chunk, whole = run_once(benchmark, run)
+    print(f"\nchunk-granularity={chunk:.2f} vs whole-conversation={whole:.2f} "
+          f"req/s @120ms")
+    assert chunk >= 0.98 * whole

@@ -1,0 +1,28 @@
+"""Figure 3 — prefill cost overtakes generation as history grows."""
+
+from repro.experiments.fig03 import format_fig03, run_fig03
+
+from benchmarks.conftest import run_once
+
+
+def test_fig03_prefill_vs_generation(benchmark):
+    rows = run_once(benchmark, run_fig03)
+    print("\n" + format_fig03(rows))
+
+    # Claim 1: stateless prefill grows (roughly linearly) with history.
+    stateless = [r["prefill_with_history_s"] for r in rows]
+    assert stateless == sorted(stateless)
+    assert stateless[-1] > 5 * stateless[0]
+
+    # Claim 2: with no history, 200 generation steps dominate prefill...
+    assert rows[0]["prefill_with_history_s"] < rows[0]["generation_s"]
+
+    # Claim 3: ...but with a long history, recomputation makes prefill the
+    # dominant phase (the Figure 3 crossover).
+    assert rows[-1]["prefill_with_history_s"] > rows[-1]["generation_s"]
+
+    # Claim 4: a stateful engine's prompt-only prefill stays cheap at every
+    # history size (the motivation for Pensieve).
+    for row in rows:
+        assert row["prefill_prompt_only_s"] < row["generation_s"]
+        assert row["prefill_prompt_only_s"] <= row["prefill_with_history_s"]

@@ -1,0 +1,29 @@
+"""Figure 4 — attention cost of a 32-token chunk grows linearly with
+context size (the basis of evict-from-the-front)."""
+
+import pytest
+
+from repro.experiments.fig04 import format_fig04, run_fig04
+
+from benchmarks.conftest import run_once
+
+
+def test_fig04_attention_linear_in_context(benchmark):
+    rows = run_once(benchmark, run_fig04)
+    print("\n" + format_fig04(rows))
+
+    normalized = {r["context_tokens"]: r["normalized"] for r in rows}
+
+    # Claim 1: cost grows linearly with context (constant marginal cost).
+    g1 = normalized[4096] - normalized[2048]
+    g2 = normalized[8192] - normalized[4096]
+    assert g2 == pytest.approx(2 * g1, rel=0.2)
+
+    # Claim 2: attention is negligible at small contexts but crosses the
+    # non-attention cost within the supported context range.
+    assert normalized[32] < 0.1
+    assert normalized[16384] > 1.0
+
+    # Claim 3: leading tokens are cheaper to recompute than trailing ones
+    # — a chunk attending 1K context costs a fraction of one at 16K.
+    assert normalized[1024] < 0.25 * normalized[16384]

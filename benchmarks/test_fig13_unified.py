@@ -1,0 +1,34 @@
+"""Figure 13 — unified vs separate prefill/generation scheduling."""
+
+from repro.experiments.common import throughput_at_latency
+from repro.experiments.fig13 import format_fig13, run_fig13
+
+from benchmarks.conftest import run_once
+
+
+def test_fig13_unified_scheduling_wins(benchmark):
+    curves = run_once(
+        benchmark, run_fig13, rates=(8.0, 14.0, 20.0, 26.0), duration=300.0
+    )
+    print("\n" + format_fig13(curves))
+
+    # Claim: unified batching achieves better throughput at any latency
+    # target (it avoids running prefills as separate small batches, §6.5).
+    for target in (0.05, 0.1, 0.2):
+        unified = throughput_at_latency(curves["unified"], target)
+        separate = throughput_at_latency(curves["separate"], target)
+        assert unified >= separate
+
+    # And strictly better at the saturation knee.
+    assert throughput_at_latency(curves["unified"], 0.1) > 1.05 * (
+        throughput_at_latency(curves["separate"], 0.1)
+    )
+
+    # Latency is also better (or equal) at every common rate.
+    by_rate_u = {p.request_rate: p for p in curves["unified"]}
+    by_rate_s = {p.request_rate: p for p in curves["separate"]}
+    better = sum(
+        by_rate_u[r].mean_norm_latency <= by_rate_s[r].mean_norm_latency
+        for r in by_rate_u
+    )
+    assert better >= len(by_rate_u) - 1

@@ -1,0 +1,53 @@
+"""Table 1 — model hyper-parameters and their derived KV/compute sizes."""
+
+import pytest
+
+from repro.model import LLAMA2_13B, LLAMA2_70B, OPT_13B, OPT_66B, PAPER_MODELS
+
+from benchmarks.conftest import run_once
+
+
+def collect_rows():
+    rows = []
+    for cfg in PAPER_MODELS.values():
+        rows.append(
+            {
+                "model": cfg.name,
+                "layers": cfg.num_layers,
+                "hidden": cfg.hidden_size,
+                "heads": cfg.num_heads,
+                "kv_heads": cfg.num_kv_heads,
+                "head_dim": cfg.head_dim,
+                "gpus": cfg.num_gpus,
+                "kv_mb_per_token": cfg.kv_bytes_per_token / 2**20,
+                "params_b": cfg.param_count / 1e9,
+            }
+        )
+    return rows
+
+
+def test_tab01_model_table(benchmark):
+    rows = run_once(benchmark, collect_rows)
+    print("\nTable 1 — model hyper-parameters")
+    header = f"{'model':>12} {'L':>3} {'hidden':>6} {'Q/KV heads':>10} {'gpus':>4} {'KV MB/tok':>9} {'params(B)':>9}"
+    print(header)
+    for r in rows:
+        print(
+            f"{r['model']:>12} {r['layers']:>3} {r['hidden']:>6} "
+            f"{r['heads']:>5}/{r['kv_heads']:<4} {r['gpus']:>4} "
+            f"{r['kv_mb_per_token']:>9.3f} {r['params_b']:>9.1f}"
+        )
+
+    # The paper's §3.2 headline number: 0.78 MB per KV-token for a 13B
+    # GPT-3-class model.
+    assert OPT_13B.kv_bytes_per_token / 2**20 == pytest.approx(0.78, abs=0.01)
+    # GQA savings: 4x for Llama 2-13B (group 4), 8x-per-hidden for 70B.
+    assert OPT_13B.kv_bytes_per_token / LLAMA2_13B.kv_bytes_per_token == 4.0
+    assert LLAMA2_70B.gqa_group_size == 8
+    # §6.3: OPT-66B compute grows >5x over OPT-13B while KV grows 2.88x.
+    assert OPT_66B.kv_bytes_per_token / OPT_13B.kv_bytes_per_token == pytest.approx(
+        2.88, abs=0.01
+    )
+    assert (
+        OPT_66B.linear_flops_per_token() / OPT_13B.linear_flops_per_token() > 4.5
+    )

@@ -1,0 +1,33 @@
+"""Table 2 — generated corpus statistics vs the paper's datasets."""
+
+import pytest
+
+from repro.experiments.tab02 import format_tab02, run_tab02
+
+from benchmarks.conftest import run_once
+
+
+def test_tab02_dataset_statistics(benchmark):
+    rows = run_once(benchmark, run_tab02, num_conversations=5000, seed=0)
+    print("\n" + format_tab02(rows))
+
+    by_name = {r["dataset"]: r for r in rows}
+
+    for name in ("ShareGPT", "UltraChat"):
+        row = by_name[name]
+        assert row["mean_turns"] == pytest.approx(row["paper_mean_turns"], rel=0.08)
+        assert row["mean_input_len"] == pytest.approx(
+            row["paper_mean_input_len"], rel=0.08
+        )
+        assert row["mean_output_len"] == pytest.approx(
+            row["paper_mean_output_len"], rel=0.08
+        )
+        assert row["max_context"] <= 16384
+
+    # The structural contrast the paper leans on (§6.2): ShareGPT has more
+    # turns (better for caching), UltraChat longer requests.
+    assert by_name["ShareGPT"]["mean_turns"] > by_name["UltraChat"]["mean_turns"]
+    assert (
+        by_name["UltraChat"]["mean_output_len"]
+        > by_name["ShareGPT"]["mean_output_len"]
+    )

@@ -1,0 +1,31 @@
+"""Regenerate the paper's analytical figures and tables in one shot.
+
+Covers the fast (non-serving) experiments: Figure 3 (prefill vs
+generation), Figure 4 (attention vs context size), Figure 12 (kernel
+microbenchmark) and Table 2 (dataset statistics).  The serving figures
+(10, 11, 13, 14, 15) take minutes each; regenerate them with
+``pytest benchmarks/ --benchmark-only`` or see EXPERIMENTS.md for a
+recorded full-scale run.
+
+Run:  python examples/paper_figures.py
+"""
+
+from repro.experiments.fig03 import format_fig03, run_fig03
+from repro.experiments.fig04 import format_fig04, run_fig04
+from repro.experiments.fig12 import format_fig12, run_fig12
+from repro.experiments.tab02 import format_tab02, run_tab02
+
+
+def main() -> None:
+    for title, rows, fmt in (
+        ("", run_fig03(), format_fig03),
+        ("", run_fig04(), format_fig04),
+        ("", run_fig12(), format_fig12),
+        ("", run_tab02(num_conversations=3000), format_tab02),
+    ):
+        print(fmt(rows))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""Compare serving systems on a multi-turn conversation workload.
+
+Runs the performance-layer simulation of all four systems from the paper's
+evaluation — vLLM, TensorRT-LLM, Pensieve, and Pensieve (GPU cache) — on a
+ShareGPT-like workload, and prints a latency/throughput table along with
+each engine's cache behaviour.  This is a single-rate slice of Figure 10;
+``benchmarks/test_fig10_single_gpu.py`` sweeps the full curves.
+
+Run:  python examples/serving_comparison.py [request_rate] [model]
+      model in {opt-13b, llama2-13b, opt-66b, llama2-70b}
+"""
+
+import sys
+
+from repro.core import PensieveEngine
+from repro.experiments.common import run_serving_once
+from repro.gpu import A100_80GB
+from repro.model import LLAMA2_13B, LLAMA2_70B, OPT_13B, OPT_66B
+from repro.serving import make_tensorrt_llm, make_vllm
+from repro.workload import SHAREGPT
+from repro.workload.dataset import generate_workload
+
+MODELS = {
+    "opt-13b": OPT_13B,
+    "llama2-13b": LLAMA2_13B,
+    "opt-66b": OPT_66B,
+    "llama2-70b": LLAMA2_70B,
+}
+
+
+def main() -> None:
+    rate = float(sys.argv[1]) if len(sys.argv) > 1 else 8.0
+    model = MODELS[sys.argv[2].lower()] if len(sys.argv) > 2 else OPT_13B
+    duration = 300.0
+
+    print(
+        f"Serving {model.name} ({model.num_gpus} GPU(s)) on a ShareGPT-like "
+        f"workload at {rate} req/s for {duration:.0f} simulated seconds\n"
+    )
+    conversations = generate_workload(
+        SHAREGPT, request_rate=rate, duration=duration, seed=7
+    )
+    total = sum(c.num_turns for c in conversations)
+    print(f"workload: {len(conversations)} conversations, {total} requests\n")
+
+    systems = {
+        "vLLM": lambda loop: make_vllm(loop, model, A100_80GB),
+        "TensorRT-LLM": lambda loop: make_tensorrt_llm(loop, model, A100_80GB),
+        "Pensieve (GPU cache)": lambda loop: PensieveEngine(
+            loop, model, A100_80GB, cpu_cache_tokens=0
+        ),
+        "Pensieve": lambda loop: PensieveEngine(loop, model, A100_80GB),
+    }
+
+    header = (
+        f"{'system':>22} {'thr(req/s)':>10} {'mean nlat':>10} {'p90 nlat':>10} "
+        f"{'prefilled tokens':>16}"
+    )
+    print(header)
+    print("-" * len(header))
+    for name, factory in systems.items():
+        engine, stats = run_serving_once(
+            factory, conversations, until=duration, warmup=duration * 0.3
+        )
+        print(
+            f"{name:>22} {stats.throughput_rps:>10.2f} "
+            f"{stats.mean_normalized_latency * 1e3:>8.1f}ms "
+            f"{stats.p90_normalized_latency * 1e3:>8.1f}ms "
+            f"{stats.total_prefilled_tokens:>16,}"
+        )
+        if hasattr(engine, "manager"):
+            cache = engine.manager.stats
+            lookups = max(1, cache["lookup_tokens"])
+            hits = cache["gpu_hit_tokens"] + cache["cpu_hit_tokens"]
+            print(
+                f"{'':>22}   cache: hit rate {hits / lookups:.1%}, "
+                f"recomputed {cache['recomputed_tokens']:,}, "
+                f"swapped out {cache['swapped_out_tokens']:,} tokens"
+            )
+    print(
+        "\nNote: prefilled tokens is where the systems differ — stateless "
+        "engines reprocess the whole history every turn."
+    )
+
+
+if __name__ == "__main__":
+    main()

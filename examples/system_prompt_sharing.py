@@ -1,0 +1,80 @@
+"""Shared system-prompt state across conversations (paper footnote 3).
+
+The paper notes that a chatbot's common system prompt "can be handled by
+explicitly designating the system prompt state as reusable".  This example
+prefills one system prompt, serves several users against it in a single
+unified batch, and shows (a) the memory saving versus per-conversation
+copies and (b) that outputs are identical to prepending the prompt to
+every conversation.
+
+Run:  python examples/system_prompt_sharing.py
+"""
+
+from repro.core import StatefulChatServer
+from repro.model import tiny_llama_config
+
+SYSTEM_PROMPT = (
+    "you are a concise helpful assistant that answers questions about "
+    "large language model serving systems and key value caches"
+)
+
+USER_PROMPTS = {
+    0: "how does pensieve avoid recomputing chat history",
+    1: "what happens when the gpu cache fills up",
+    2: "why are leading tokens cheaper to recompute",
+    3: "explain the multi token attention kernel",
+}
+
+
+def build(shared: bool) -> StatefulChatServer:
+    server = StatefulChatServer(
+        tiny_llama_config(),
+        gpu_capacity_tokens=512,
+        cpu_capacity_tokens=1024,
+        seed=3,
+    )
+    if shared:
+        server.set_system_prompt(SYSTEM_PROMPT)
+    return server
+
+
+def main() -> None:
+    shared = build(shared=True)
+    baseline = build(shared=False)
+    # Keep both tokenizers aligned so prompt ids match exactly.
+    system_ids = baseline.tokenizer.encode(SYSTEM_PROMPT)
+
+    shared_prompts = []
+    baseline_prompts = []
+    for conv_id, text in USER_PROMPTS.items():
+        user_ids_shared = shared.tokenizer.encode(text)
+        user_ids_base = baseline.tokenizer.encode(text)
+        shared_prompts.append((conv_id, user_ids_shared))
+        baseline_prompts.append((conv_id, system_ids + user_ids_base))
+
+    print(f"System prompt: {len(system_ids)} tokens, "
+          f"{len(USER_PROMPTS)} concurrent conversations\n")
+
+    out_shared = shared.chat_batch(shared_prompts, max_new_tokens=8)
+    out_base = baseline.chat_batch(baseline_prompts, max_new_tokens=8)
+
+    identical = out_shared == out_base
+    for conv_id in USER_PROMPTS:
+        reply = shared.tokenizer.decode(out_shared[conv_id])
+        print(f"[conv {conv_id}] {USER_PROMPTS[conv_id]!r}\n"
+              f"          -> {reply}")
+    print(f"\nOutputs identical to per-conversation prepending: {identical}")
+    assert identical
+
+    shared_resident = shared.manager.gpu_resident_tokens
+    base_resident = baseline.manager.gpu_resident_tokens
+    saving = base_resident - shared_resident
+    print(f"\nGPU KV slots used:  shared state {shared_resident}, "
+          f"prepended copies {base_resident}")
+    print(f"Saved {saving} KV-token slots "
+          f"(= {len(system_ids)} x {len(USER_PROMPTS) - 1} duplicate "
+          "system-prompt copies).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,20 @@
+"""Reproduction of *Stateful Large Language Model Serving with Pensieve*
+(EuroSys 2025).
+
+Subpackages:
+
+- :mod:`repro.sim` — discrete-event simulation core;
+- :mod:`repro.gpu` — simulated GPU substrate (roofline cost model, PCIe);
+- :mod:`repro.kvcache` — paged two-tier KV-cache management;
+- :mod:`repro.kernels` — numpy attention kernels incl. the multi-token
+  paged kernel;
+- :mod:`repro.model` — numpy OPT/Llama-style transformers and Table 1
+  configurations;
+- :mod:`repro.serving` — request lifecycle, batching, baseline engines,
+  metrics;
+- :mod:`repro.core` — the Pensieve engine itself;
+- :mod:`repro.workload` — conversation datasets and arrival processes;
+- :mod:`repro.experiments` — one module per paper figure/table.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,67 @@
+"""Comparisons between latency–throughput curves.
+
+Helpers used by the experiment reports to state Figure 10/11-style claims
+quantitatively: speedups at a latency target, curve domination, and
+crossover detection (Figure 14's "similar until ~3 req/s" finding).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.common import RatePoint, throughput_at_latency
+
+
+def speedup_at(
+    curve_a: Sequence[RatePoint],
+    curve_b: Sequence[RatePoint],
+    latency_target: float,
+    use_p90: bool = False,
+) -> float:
+    """Throughput of curve A over curve B at a latency target.
+
+    Returns ``inf`` when B cannot meet the target at all.
+    """
+    a = throughput_at_latency(curve_a, latency_target, use_p90=use_p90)
+    b = throughput_at_latency(curve_b, latency_target, use_p90=use_p90)
+    if b == 0:
+        return float("inf")
+    return a / b
+
+
+def curve_dominates(
+    winner: Sequence[RatePoint],
+    loser: Sequence[RatePoint],
+    tolerance: float = 0.0,
+) -> bool:
+    """True when, at every common request rate, ``winner`` has latency no
+    worse than ``loser`` (within ``tolerance``, relative)."""
+    by_rate_w = {p.request_rate: p for p in winner}
+    by_rate_l = {p.request_rate: p for p in loser}
+    common = set(by_rate_w) & set(by_rate_l)
+    if not common:
+        raise ValueError("curves share no request rates")
+    return all(
+        by_rate_w[r].mean_norm_latency
+        <= by_rate_l[r].mean_norm_latency * (1.0 + tolerance)
+        for r in common
+    )
+
+
+def crossover_rate(
+    curve_a: Sequence[RatePoint],
+    curve_b: Sequence[RatePoint],
+    min_gap: float = 0.02,
+) -> Optional[float]:
+    """Lowest common request rate at which A's latency is better than B's
+    by more than ``min_gap`` (relative) — the Figure 14 "policies match
+    until X req/s" style statement.  ``None`` when A never pulls ahead.
+    """
+    by_rate_a = {p.request_rate: p for p in curve_a}
+    by_rate_b = {p.request_rate: p for p in curve_b}
+    for rate in sorted(set(by_rate_a) & set(by_rate_b)):
+        a = by_rate_a[rate].mean_norm_latency
+        b = by_rate_b[rate].mean_norm_latency
+        if b > a * (1.0 + min_gap):
+            return rate
+    return None

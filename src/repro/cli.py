@@ -1,0 +1,217 @@
+"""Command-line interface.
+
+Run as ``python -m repro <command>``:
+
+- ``chat``      — interactive stateful chat against the functional server;
+- ``simulate``  — one serving-simulation run, printing latency/throughput
+  and cache statistics;
+- ``sweep``     — a latency–throughput curve for one system;
+- ``figures``   — the fast analytical figures (3, 4, 12) and Table 2;
+- ``report``    — regenerate EXPERIMENTS.md (slow: full serving sweeps).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.model.config import PAPER_MODELS, ModelConfig
+
+
+def _model(name: str) -> ModelConfig:
+    lookup = {cfg.name.lower().replace(" ", ""): cfg for cfg in PAPER_MODELS.values()}
+    key = name.lower().replace(" ", "").replace("_", "-")
+    if key not in lookup:
+        raise SystemExit(
+            f"unknown model {name!r}; choose from {sorted(lookup)}"
+        )
+    return lookup[key]
+
+
+def _engine_factory(system: str, config: ModelConfig):
+    from repro.core.engine import PensieveEngine
+    from repro.gpu.device import A100_80GB
+    from repro.serving.stateless import make_tensorrt_llm, make_vllm
+
+    system = system.lower()
+    if system == "vllm":
+        return lambda loop: make_vllm(loop, config, A100_80GB)
+    if system in ("trt", "tensorrt", "tensorrt-llm"):
+        return lambda loop: make_tensorrt_llm(loop, config, A100_80GB)
+    if system == "pensieve":
+        return lambda loop: PensieveEngine(loop, config, A100_80GB)
+    if system in ("pensieve-gpu", "pensieve-gpu-cache"):
+        return lambda loop: PensieveEngine(loop, config, A100_80GB, cpu_cache_tokens=0)
+    raise SystemExit(
+        f"unknown system {system!r}; choose from vllm, tensorrt-llm, "
+        "pensieve, pensieve-gpu"
+    )
+
+
+def cmd_chat(args: argparse.Namespace) -> int:
+    from repro.core.server import StatefulChatServer
+    from repro.model.config import tiny_llama_config, tiny_opt_config
+
+    config = tiny_llama_config() if args.arch == "llama" else tiny_opt_config()
+    server = StatefulChatServer(
+        config,
+        gpu_capacity_tokens=args.gpu_tokens,
+        cpu_capacity_tokens=args.cpu_tokens,
+        seed=args.seed,
+    )
+    if args.system_prompt:
+        server.set_system_prompt(args.system_prompt)
+    print(
+        "Stateful chat demo (random-weight tiny model; replies are noise,\n"
+        "the cache behaviour is real).  Commands: /stats, /quit.\n"
+    )
+    conv_id = 0
+    while True:
+        try:
+            line = input("you> ").strip()
+        except (EOFError, KeyboardInterrupt):
+            print()
+            return 0
+        if not line:
+            continue
+        if line == "/quit":
+            return 0
+        if line == "/stats":
+            print(f"  context: {server.context_length(conv_id)} tokens")
+            print(f"  placement: {server.placement(conv_id)}")
+            print(f"  cache stats: {server.manager.stats}")
+            continue
+        reply = server.chat_text(conv_id, line, max_new_tokens=args.max_tokens)
+        print(f"bot> {reply}")
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.analysis.traces import cache_summary
+    from repro.experiments.common import run_serving_once
+    from repro.workload.dataset import SHAREGPT, ULTRACHAT, generate_workload
+
+    config = _model(args.model)
+    dataset = ULTRACHAT if args.dataset == "ultrachat" else SHAREGPT
+    conversations = generate_workload(
+        dataset,
+        request_rate=args.rate,
+        duration=args.duration,
+        think_time_mean=args.think_time,
+        seed=args.seed,
+    )
+    engine, stats = run_serving_once(
+        _engine_factory(args.system, config),
+        conversations,
+        until=args.duration,
+        warmup=args.duration * 0.3,
+    )
+    print(f"system        : {engine.name}")
+    print(f"model         : {config.name} ({config.num_gpus} GPU(s))")
+    print(f"workload      : {dataset.name} @ {args.rate} req/s, "
+          f"{args.duration:.0f}s, think {args.think_time:.0f}s")
+    for key, value in stats.as_dict().items():
+        print(f"{key:22s}: {value}")
+    if hasattr(engine, "manager"):
+        print("cache         :", cache_summary(engine).as_dict())
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.common import format_curve_table, run_rate_sweep
+    from repro.workload.dataset import SHAREGPT, ULTRACHAT
+
+    config = _model(args.model)
+    dataset = ULTRACHAT if args.dataset == "ultrachat" else SHAREGPT
+    points = run_rate_sweep(
+        _engine_factory(args.system, config),
+        dataset,
+        rates=args.rates,
+        duration=args.duration,
+        think_time_mean=args.think_time,
+        seed=args.seed,
+    )
+    print(format_curve_table(f"{args.system} / {config.name}", points))
+    return 0
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    from repro.experiments.fig03 import format_fig03, run_fig03
+    from repro.experiments.fig04 import format_fig04, run_fig04
+    from repro.experiments.fig12 import format_fig12, run_fig12
+    from repro.experiments.tab02 import format_tab02, run_tab02
+
+    print(format_fig03(run_fig03()))
+    print()
+    print(format_fig04(run_fig04()))
+    print()
+    print(format_fig12(run_fig12()))
+    print()
+    print(format_tab02(run_tab02()))
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import generate
+
+    generate(args.output, duration=args.duration)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Pensieve reproduction: stateful LLM serving.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    chat = sub.add_parser("chat", help="interactive functional chat demo")
+    chat.add_argument("--arch", choices=("opt", "llama"), default="llama")
+    chat.add_argument("--gpu-tokens", type=int, default=512)
+    chat.add_argument("--cpu-tokens", type=int, default=2048)
+    chat.add_argument("--max-tokens", type=int, default=12)
+    chat.add_argument("--system-prompt", default="")
+    chat.add_argument("--seed", type=int, default=0)
+    chat.set_defaults(func=cmd_chat)
+
+    simulate = sub.add_parser("simulate", help="one serving-simulation run")
+    simulate.add_argument("--system", default="pensieve")
+    simulate.add_argument("--model", default="opt-13b")
+    simulate.add_argument("--dataset", choices=("sharegpt", "ultrachat"),
+                          default="sharegpt")
+    simulate.add_argument("--rate", type=float, default=8.0)
+    simulate.add_argument("--duration", type=float, default=300.0)
+    simulate.add_argument("--think-time", type=float, default=60.0)
+    simulate.add_argument("--seed", type=int, default=7)
+    simulate.set_defaults(func=cmd_simulate)
+
+    sweep = sub.add_parser("sweep", help="latency-throughput curve")
+    sweep.add_argument("--system", default="pensieve")
+    sweep.add_argument("--model", default="opt-13b")
+    sweep.add_argument("--dataset", choices=("sharegpt", "ultrachat"),
+                       default="sharegpt")
+    sweep.add_argument("--rates", type=float, nargs="+",
+                       default=[2.0, 5.0, 8.0, 11.0])
+    sweep.add_argument("--duration", type=float, default=300.0)
+    sweep.add_argument("--think-time", type=float, default=60.0)
+    sweep.add_argument("--seed", type=int, default=7)
+    sweep.set_defaults(func=cmd_sweep)
+
+    figures = sub.add_parser("figures", help="fast analytical figures")
+    figures.set_defaults(func=cmd_figures)
+
+    report = sub.add_parser("report", help="regenerate EXPERIMENTS.md (slow)")
+    report.add_argument("--output", default="EXPERIMENTS.md")
+    report.add_argument("--duration", type=float, default=500.0)
+    report.set_defaults(func=cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,372 @@
+"""The Pensieve serving engine (the paper's primary contribution).
+
+A stateful, unified-batching engine built on:
+
+- the two-tier :class:`~repro.kvcache.manager.TwoTierCacheManager`
+  (token-chunk eviction, lazy reclamation, Figure 5 restore planning);
+- the retention-value eviction policy (§4.3.1) driven by offline
+  power-of-two profiling;
+- ahead-of-time swap-out below a free-space threshold (§4.3.2);
+- pipelined per-layer swap-in overlapping the PCIe transfer with
+  computation (§4.3.3);
+- dropped-token recomputation via Figure 8(d) sub-request shapes, which
+  the cost model charges exactly like the multi-token kernel would run
+  them (§4.3.4);
+- suspension of the latest-arrived requests when generation outgrows the
+  GPU cache (§4.3.5);
+- unified prefill+generation batches enabled by the multi-token attention
+  kernel (§4.2/§4.4.1) — with a ``unified=False`` switch reproducing the
+  Figure 13 ablation;
+- retrieval-prioritised PCIe scheduling (§5).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.gpu.costmodel import BatchShape, CostModel, KernelVariant
+from repro.gpu.device import GpuSpec
+from repro.gpu.pcie import Direction, PcieEngine
+from repro.gpu.profiler import OfflineProfiler
+from repro.core.eviction import LruPolicy, RetentionValuePolicy
+from repro.kvcache.manager import (
+    CacheCapacityError,
+    EvictionScorer,
+    TwoTierCacheManager,
+)
+from repro.model.config import ModelConfig
+from repro.serving.batching import BatchConfig
+from repro.serving.engine import EngineBase
+from repro.serving.request import Request, RequestState
+from repro.sim.events import EventLoop
+
+
+@dataclass
+class _PrefillInfo:
+    """Shape bookkeeping for a request admitted this lifetime."""
+
+    recompute_tokens: int
+    prompt_tokens: int
+    total_context: int
+
+
+class PensieveEngine(EngineBase):
+    """Stateful multi-turn conversation serving (§4).
+
+    Args:
+        loop: discrete-event loop.
+        config: model hyper-parameters.
+        spec: GPU hardware description.
+        batch_config: admission thresholds (§4.3 defaults).
+        cpu_cache_tokens: CPU-tier capacity in tokens; ``None`` derives it
+            from ``spec.cpu_memory_bytes`` (x num_gpus), ``0`` produces the
+            paper's "Pensieve (GPU cache)" variant.
+        policy: ``"retention"`` (default), ``"lru"``, or a custom scorer.
+        chunk_size: eviction granularity (32 in the paper).
+        unified: batch prefill and generation together (§4.2); ``False``
+            reproduces the separate-scheduling ablation of Figure 13.
+        pipelined_swap_in: overlap per-layer transfers with compute
+            (§4.3.3); ``False`` blocks on the full transfer (ablation).
+        prioritize_retrieval: §5 PCIe scheduling optimisation.
+        name: engine label override.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        config: ModelConfig,
+        spec: GpuSpec,
+        batch_config: Optional[BatchConfig] = None,
+        cpu_cache_tokens: Optional[int] = None,
+        policy: object = "retention",
+        chunk_size: int = 32,
+        unified: bool = True,
+        pipelined_swap_in: bool = True,
+        prioritize_retrieval: bool = True,
+        name: Optional[str] = None,
+        keep_trace: bool = False,
+        whole_conversation_eviction: bool = False,
+    ) -> None:
+        cost_model = CostModel(config, spec)
+        if name is None:
+            name = "Pensieve" if cpu_cache_tokens != 0 else "Pensieve (GPU cache)"
+        super().__init__(name, loop, cost_model, batch_config, keep_trace)
+        self.model_config = config
+        self.spec = spec
+        self.unified = unified
+        self.pipelined_swap_in = pipelined_swap_in
+
+        kv = config.kv_bytes_per_token
+        gpu_tokens = int(spec.kv_cache_bytes * config.num_gpus // kv)
+        if cpu_cache_tokens is None:
+            cpu_cache_tokens = int(spec.cpu_memory_bytes * config.num_gpus // kv)
+        scorer = self._resolve_policy(policy, cost_model, chunk_size)
+        self.manager = TwoTierCacheManager(
+            gpu_capacity_tokens=gpu_tokens,
+            cpu_capacity_tokens=cpu_cache_tokens,
+            chunk_size=chunk_size,
+            scorer=scorer,
+            whole_conversation_eviction=whole_conversation_eviction,
+        )
+        # Tensor parallelism shards the KV feature dimension, so each of
+        # the N workers moves 1/N of the bytes over its own PCIe link
+        # (§4.4.2): aggregate host-link bandwidth scales with num_gpus.
+        self.pcie = PcieEngine(
+            bandwidth=spec.pcie_bandwidth * config.num_gpus,
+            duplex_penalty=spec.pcie_duplex_penalty,
+            prioritize_retrieval=prioritize_retrieval,
+        )
+        self._prefill_info: Dict[int, _PrefillInfo] = {}
+        # Per-iteration stash set by _form_batch, consumed by _execute.
+        self._iter_swap_in_seconds = 0.0
+        self.suspensions = 0
+        # Copy-settlement ledger (§4.3.2): ahead-of-time copies become
+        # *reclaimable in time* only once their D2H transfer lands.  Each
+        # entry is ``(transfer_end_time, tokens)``; ``_settled_tokens``
+        # accumulates entries whose end time has passed.
+        self._copy_log: deque = deque()
+        self._settled_tokens = 0
+
+    @staticmethod
+    def _resolve_policy(
+        policy: object, cost_model: CostModel, chunk_size: int
+    ) -> EvictionScorer:
+        if policy == "retention":
+            profile = OfflineProfiler.from_cost_model(cost_model).profile(
+                chunk_size=chunk_size, max_context=16384
+            )
+            return RetentionValuePolicy(profile)
+        if policy == "lru":
+            return LruPolicy()
+        if callable(policy):
+            return policy  # custom scorer
+        raise ValueError(f"unknown eviction policy {policy!r}")
+
+    # ------------------------------------------------------------------
+    # Batch formation (§4.2)
+    # ------------------------------------------------------------------
+
+    def _form_batch(self, now: float) -> List[Request]:
+        self._iter_swap_in_seconds = 0.0
+        self._iter_reclaim_wait = 0.0
+        decoders = self._grow_decoders(now)
+        admitted = self._admit(now)
+        if admitted and not self.unified:
+            # Figure 13 ablation: prefill runs as its own (often small)
+            # batch while decoders stall for the iteration.
+            return admitted
+        return decoders + admitted
+
+    def _grow_decoders(self, now: float) -> List[Request]:
+        """Allocate each running request's next KV slot, suspending the
+        latest-arrived requests if the GPU cache is exhausted (§4.3.5)."""
+        decoders = [r for r in self.running if r.state is RequestState.RUNNING]
+        while decoders and self.manager.gpu_available_tokens < len(decoders):
+            victim = max(decoders, key=lambda r: (r.arrival_time, r.request_id))
+            self._suspend(victim, now)
+            decoders.remove(victim)
+        grown: List[Request] = []
+        for request in decoders:
+            try:
+                self.manager.append_tokens(request.conv_id, 1)
+            except CacheCapacityError:
+                self._suspend(request, now)
+                continue
+            grown.append(request)
+        return grown
+
+    def _suspend(self, victim: Request, now: float) -> None:
+        copied, dropped = self.manager.release_conversation_gpu(victim.conv_id, now)
+        if copied:
+            self.pcie.swap_out(
+                now, copied * self.model_config.kv_bytes_per_token
+            )
+        victim.state = RequestState.WAITING
+        self.running.remove(victim)
+        self.wait_queue.appendleft(victim)
+        self.suspensions += 1
+        self.trace.record(
+            now, "suspend", request_id=victim.request_id,
+            copied_tokens=copied, dropped_tokens=dropped,
+        )
+
+    def _reclaim_budget(self, now: float) -> int:
+        """Tokens whose ahead-of-time copies have settled and are still
+        unconsumed — the amount of lazy reclamation permissible *now*.
+
+        Every exit from the ``GPU_CPU`` state (a reclaim, or a promotion
+        back to ``GPU`` when the owning conversation returns) consumes one
+        completed copy; the budget is settled copies minus exits.
+        """
+        while self._copy_log and self._copy_log[0][0] <= now:
+            self._settled_tokens += self._copy_log.popleft()[1]
+        return max(
+            0, self._settled_tokens - self.manager.stats["gpu_cpu_exit_tokens"]
+        )
+
+    def _log_copy(self, end_time: float, tokens: int) -> None:
+        self._copy_log.append((end_time, tokens))
+
+    def _admit(self, now: float) -> List[Request]:
+        admitted: List[Request] = []
+        batch_tokens = 0
+        cfg = self.config
+        capacity = self.manager.gpu_capacity_tokens
+        base_reserve = int(cfg.generation_reserve * capacity)
+        while self.wait_queue:
+            request = self.wait_queue[0]
+            # Pin while evaluating: the capacity check must not count the
+            # candidate's *own* lazily-copied chunks as reclaimable —
+            # admitting promotes them back to plain GPU residence.
+            self.manager.open(request.conv_id, now)
+            plan = self.manager.plan_restore(request.conv_id, request.prompt_tokens)
+            prefill = plan.prefill_tokens
+
+            def refuse() -> None:
+                self.manager.close(request.conv_id, now)
+
+            if len(self.running) + len(admitted) >= cfg.max_running:
+                refuse()
+                break
+            if admitted and batch_tokens + prefill > cfg.max_batch_tokens:
+                refuse()
+                break
+            # §4.3.5: keep 10% of slots free for running generations —
+            # but never make a feasible request permanently inadmissible.
+            reserve = min(base_reserve, max(0, capacity - plan.alloc_tokens))
+            if self.manager.gpu_available_tokens - plan.alloc_tokens < reserve:
+                self._demand_swap_out(plan.alloc_tokens + reserve, now)
+                refuse()
+                break
+            # Reclaimed slots are only usable once their ahead-of-time
+            # copies have physically landed on the CPU.
+            needed_reclaim = plan.alloc_tokens - self.manager.gpu_free_tokens
+            if needed_reclaim > 0 and needed_reclaim > self._reclaim_budget(now):
+                refuse()
+                break
+            self._do_admit(request, plan, now)
+            admitted.append(request)
+            batch_tokens += prefill
+        return admitted
+
+    def _do_admit(self, request, plan, now: float) -> None:
+        self.wait_queue.popleft()
+        if plan.swap_in_tokens > 0:
+            swap_bytes = plan.swap_in_tokens * self.model_config.kv_bytes_per_token
+            record = self.pcie.swap_in(now, swap_bytes)
+            self._iter_swap_in_seconds = max(
+                self._iter_swap_in_seconds, record.end_time - now
+            )
+            self.trace.record(
+                now, "swap_in", request_id=request.request_id,
+                tokens=plan.swap_in_tokens, seconds=record.end_time - now,
+            )
+        self.manager.commit_restore(plan, now)
+        request.prefill_tokens = plan.prefill_tokens
+        request.prefill_done = False
+        request.state = RequestState.RUNNING
+        self.running.append(request)
+        self._prefill_info[request.request_id] = _PrefillInfo(
+            recompute_tokens=plan.recompute_tokens,
+            prompt_tokens=plan.new_tokens,
+            total_context=plan.total_context,
+        )
+        self.trace.record(
+            now, "admit", request_id=request.request_id,
+            gpu_hits=plan.gpu_hit_tokens, swap_in=plan.swap_in_tokens,
+            recompute=plan.recompute_tokens, new=plan.new_tokens,
+        )
+
+    def _idle_retry_delay(self, now: float) -> Optional[float]:
+        """Retry blocked admissions when the next pending copy settles
+        (or shortly, when progress came from instant drops)."""
+        if self._copy_log:
+            return max(self._copy_log[0][0] - now, 1e-6)
+        return 0.005
+
+    def _demand_swap_out(self, tokens_target: int, now: float) -> None:
+        """Eagerly copy more chunks out when admission is memory-blocked
+        beyond what ahead-of-time swapping anticipated."""
+        deficit = tokens_target - self.manager.gpu_available_tokens
+        if deficit <= 0:
+            return
+        copied = self.manager.swap_out(self.manager.reclaimable_tokens + deficit, now)
+        copied_tokens = sum(c.num_tokens for c in copied)
+        if copied_tokens:
+            record = self.pcie.swap_out(
+                now, copied_tokens * self.model_config.kv_bytes_per_token
+            )
+            self._log_copy(record.end_time, copied_tokens)
+            self.trace.record(now, "demand_swap_out", tokens=copied_tokens)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def _execute(self, batch: Sequence[Request], now: float) -> float:
+        items = []
+        for request in batch:
+            if request.prefill_done:
+                ctx = self.manager.conversation(request.conv_id).total_tokens
+                items.append((1, ctx))
+            else:
+                info = self._prefill_info[request.request_id]
+                # Figure 8(d): the recomputed prefix and the new prompt are
+                # two sub-requests sharing the context.
+                if info.recompute_tokens > 0:
+                    items.append((info.recompute_tokens, info.recompute_tokens))
+                if info.prompt_tokens > 0:
+                    items.append((info.prompt_tokens, info.total_context))
+        shape = BatchShape.of(items)
+        compute = self.cost_model.iteration_time(
+            shape, variant=KernelVariant.PENSIEVE_PAGED
+        )
+        transfer = self._iter_swap_in_seconds
+        if transfer <= 0.0:
+            return compute
+        if not self.pipelined_swap_in:
+            return transfer + compute
+        # §4.3.3: per-layer transfer overlapped with per-layer compute;
+        # ``transfer`` already reflects PCIe queueing and duplex effects.
+        return CostModel.pipelined_time(
+            compute, transfer, self.model_config.num_layers
+        )
+
+    # ------------------------------------------------------------------
+    # Completion
+    # ------------------------------------------------------------------
+
+    def _complete(self, batch: Sequence[Request]) -> None:
+        super()._complete(batch)
+        self._ahead_of_time_swap(self.loop.now)
+
+    def _ahead_of_time_swap(self, now: float) -> None:
+        """Maintain the §4.3.2 free-space threshold by copying chunks to
+        the CPU tier in the background."""
+        cfg = self.config
+        target = int(cfg.swap_out_threshold * self.manager.gpu_capacity_tokens)
+        available = self.manager.gpu_available_tokens
+        if available >= target:
+            return
+        copied = self.manager.swap_out(
+            self.manager.reclaimable_tokens + (target - available), now
+        )
+        copied_tokens = sum(c.num_tokens for c in copied)
+        if copied_tokens:
+            record = self.pcie.swap_out(
+                now, copied_tokens * self.model_config.kv_bytes_per_token
+            )
+            self._log_copy(record.end_time, copied_tokens)
+            self.trace.record(now, "aot_swap_out", tokens=copied_tokens)
+
+    def _on_finish(self, request: Request, now: float) -> None:
+        """Stateful: the conversation's KV-tokens stay cached (§4.3)."""
+        try:
+            # Account the final output token's KV row as well, so the
+            # cached context matches the full conversation history.
+            self.manager.append_tokens(request.conv_id, 1)
+        except CacheCapacityError:
+            pass  # cache brim-full; the next turn recomputes one token
+        self.manager.close(request.conv_id, now)

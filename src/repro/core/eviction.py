@@ -1,0 +1,72 @@
+"""Eviction policies (§4.3.1).
+
+A policy is an :data:`~repro.kvcache.manager.EvictionScorer`: a callable
+``(chunk, last_active, now) -> score``; the cache manager evicts candidate
+chunks in **ascending** score order.  Because only the earliest chunk of
+each conversation in a given tier is ever a candidate, front-to-back
+ordering within a conversation is structural; the policy chooses *between*
+conversations.
+
+Two policies are provided:
+
+- :class:`RetentionValuePolicy` — Pensieve's policy.  The retention value
+  of a chunk is ``V = Cost(s, l) / T`` where ``Cost`` is the (profiled,
+  interpolated) cost of recomputing the chunk with its attended context of
+  size ``l`` and ``T`` is the time since the owning conversation was last
+  active.  Low-value chunks (cheap to recompute, long-idle conversation)
+  are evicted first.
+- :class:`LruPolicy` — the classic baseline of Figure 14: evict the least
+  recently active conversation first, ignoring recomputation cost.
+"""
+
+from __future__ import annotations
+
+from repro.gpu.profiler import AttentionCostProfile
+from repro.kvcache.chunks import Chunk
+
+
+class RetentionValuePolicy:
+    """Pensieve's cost-over-idle-time retention score.
+
+    Args:
+        profile: offline-profiled attention cost table
+            (:class:`~repro.gpu.profiler.AttentionCostProfile`).
+        min_idle: floor on the idle time ``T`` so a just-deactivated
+            conversation has a finite (large) retention value instead of a
+            division by zero.
+    """
+
+    name = "retention-value"
+
+    def __init__(self, profile: AttentionCostProfile, min_idle: float = 1e-3) -> None:
+        if min_idle <= 0.0:
+            raise ValueError(f"min_idle must be positive, got {min_idle}")
+        self.profile = profile
+        self.min_idle = min_idle
+
+    def __call__(self, chunk: Chunk, last_active: float, now: float) -> float:
+        idle = max(now - last_active, self.min_idle)
+        # ``l`` is the context size the chunk attends to during
+        # recomputation: everything up to and including the chunk itself.
+        cost = self.profile.recompute_cost(chunk.end)
+        return cost / idle
+
+    def __repr__(self) -> str:
+        return f"RetentionValuePolicy(chunk_size={self.profile.chunk_size})"
+
+
+class LruPolicy:
+    """Least-recently-used at conversation granularity.
+
+    The score is simply the conversation's last-active time: older
+    conversations (smaller timestamps) evict first, and ties fall back to
+    the manager's deterministic ``(conv_id, chunk index)`` ordering.
+    """
+
+    name = "lru"
+
+    def __call__(self, chunk: Chunk, last_active: float, now: float) -> float:
+        return last_active
+
+    def __repr__(self) -> str:
+        return "LruPolicy()"

@@ -1,0 +1,473 @@
+"""A functional stateful chat server: Pensieve end-to-end on real tensors.
+
+:class:`StatefulChatServer` is the executable counterpart of the simulated
+:class:`~repro.core.engine.PensieveEngine`: it serves multi-turn
+conversations through the numpy :class:`~repro.model.PagedTransformer`,
+physically moving KV data exactly as the cache manager decides —
+
+- finished turns leave their KV-tokens in GPU pages (stateful serving);
+- under GPU pressure, leading chunks are *copied* to the CPU store
+  (§4.3.2), their pages vacated only on reclaim;
+- under CPU pressure, leading chunks are dropped and later *recomputed*
+  from the raw-token persistent store via the Figure 8 sub-request path;
+- returning conversations swap their CPU chunks back into (different!)
+  GPU pages, exercising the non-contiguous multi-token attention kernel.
+
+Because every movement is real, tests can assert the headline correctness
+property: a server under heavy eviction produces *exactly* the same output
+tokens as one with abundant memory.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.eviction import LruPolicy
+from repro.kvcache.chunks import Chunk, ChunkLocation, ConversationCache
+from repro.kvcache.manager import EvictionScorer, TwoTierCacheManager
+from repro.kvcache.pages import BlockTable, PagePool
+from repro.kvcache.storage import CpuChunkStore, KVStorage
+from repro.model.config import ModelConfig, tiny_opt_config
+from repro.model.sampling import GREEDY, SamplingParams, sample_token
+from repro.model.transformer import ForwardRequest, PagedTransformer
+from repro.workload.tokenizer import SimpleTokenizer
+
+
+class StatefulChatServer:
+    """Serve multi-turn chats with a two-tier KV cache over real tensors.
+
+    Args:
+        config: model configuration (tiny presets recommended; weights are
+            random, so this demonstrates systems behaviour, not language
+            quality).
+        gpu_capacity_tokens: GPU-tier size in KV-token slots.
+        cpu_capacity_tokens: CPU-tier size (0 = GPU-cache-only variant).
+        chunk_size: eviction granularity; must be a multiple of
+            ``page_size``.
+        page_size: tokens per GPU page.
+        scorer: eviction policy (default LRU — the functional layer does
+            not need the profiled cost table, though one can be passed).
+        seed: model weight seed.
+        max_conversations: bound on concurrently tracked conversations,
+            used to size the page pool's internal-fragmentation allowance
+            (each conversation wastes at most one partially-filled tail
+            page, exactly like a vLLM sequence).
+    """
+
+    def __init__(
+        self,
+        config: Optional[ModelConfig] = None,
+        gpu_capacity_tokens: int = 512,
+        cpu_capacity_tokens: int = 2048,
+        chunk_size: int = 16,
+        page_size: int = 8,
+        scorer: Optional[EvictionScorer] = None,
+        seed: int = 0,
+        tokenizer: Optional[SimpleTokenizer] = None,
+        max_conversations: int = 64,
+    ) -> None:
+        if chunk_size % page_size != 0:
+            raise ValueError(
+                f"chunk_size ({chunk_size}) must be a multiple of "
+                f"page_size ({page_size}) so evictions stay page-aligned"
+            )
+        if gpu_capacity_tokens % page_size != 0:
+            raise ValueError("gpu_capacity_tokens must be a multiple of page_size")
+        self.config = config or tiny_opt_config()
+        self.max_conversations = max_conversations
+        # The manager accounts logical tokens; the pool additionally loses
+        # up to one page per conversation to tail fragmentation.
+        pool_tokens = gpu_capacity_tokens + page_size * max_conversations
+        self.pool = PagePool(
+            num_pages=pool_tokens // page_size, page_size=page_size
+        )
+        self.storage = KVStorage(self.config, num_slots=pool_tokens)
+        self.cpu_store = CpuChunkStore(cpu_capacity_tokens)
+        self.model = PagedTransformer(self.config, self.storage, seed=seed)
+        self.tokenizer = tokenizer or SimpleTokenizer(self.config.vocab_size)
+        self.manager = TwoTierCacheManager(
+            gpu_capacity_tokens=gpu_capacity_tokens,
+            cpu_capacity_tokens=cpu_capacity_tokens,
+            chunk_size=chunk_size,
+            scorer=scorer or LruPolicy(),
+        )
+        self.manager.observer = self._on_transition
+        self._tables: Dict[int, BlockTable] = {}
+        #: The "persistent store" of Figure 7: every conversation's raw
+        #: token ids, used to recompute dropped chunks.
+        self.raw_tokens: Dict[int, List[int]] = {}
+        self._clock = 0.0
+        # Dedicated sampling stream, independent of the weight seed.
+        self._sampling_rng = np.random.default_rng(seed + 104729)
+        # Shared system-prompt state (paper footnote 3): prefilled once,
+        # pinned forever, prepended to every conversation's context.
+        self._system_slots: List[int] = []
+        self._system_ids: List[int] = []
+
+    # ------------------------------------------------------------------
+    # Physical mirror of the manager's tier transitions
+    # ------------------------------------------------------------------
+
+    def _on_transition(
+        self,
+        cache: ConversationCache,
+        chunk: Chunk,
+        old: ChunkLocation,
+        new: ChunkLocation,
+    ) -> None:
+        table = self._tables[cache.conv_id]
+        if old is ChunkLocation.GPU and new is ChunkLocation.GPU_CPU:
+            # Ahead-of-time copy: data lands in the CPU store, pages stay.
+            slots = table.slots(chunk.start, chunk.end)
+            k, v = self.storage.read_all_layers(slots)
+            self.cpu_store.put(cache.conv_id, chunk.index, k, v)
+        elif old is ChunkLocation.GPU_CPU and new is ChunkLocation.CPU:
+            # Reclaim: the pages are handed back (data only in CPU now).
+            table.vacate_front(chunk.num_tokens)
+        elif old is ChunkLocation.GPU_CPU and new is ChunkLocation.GPU:
+            # Promotion on reuse: invalidate the (stale-to-be) CPU copy.
+            self.cpu_store.drop(cache.conv_id, chunk.index)
+        elif old is ChunkLocation.GPU and new is ChunkLocation.CPU:
+            # Suspension path: copy and vacate in one go.
+            slots = table.slots(chunk.start, chunk.end)
+            k, v = self.storage.read_all_layers(slots)
+            self.cpu_store.put(cache.conv_id, chunk.index, k, v)
+            table.vacate_front(chunk.num_tokens)
+        elif old is ChunkLocation.GPU and new is ChunkLocation.DROPPED:
+            table.vacate_front(chunk.num_tokens)
+        elif old is ChunkLocation.GPU_CPU and new is ChunkLocation.DROPPED:
+            # Pressure fallback: discard both the GPU slots and the copy.
+            self.cpu_store.drop(cache.conv_id, chunk.index)
+            table.vacate_front(chunk.num_tokens)
+        elif old is ChunkLocation.CPU and new is ChunkLocation.DROPPED:
+            self.cpu_store.drop(cache.conv_id, chunk.index)
+        elif old is ChunkLocation.CPU and new is ChunkLocation.GPU:
+            # Swap-in is orchestrated by chat() (restore_front needs the
+            # whole vacated prefix handled in one batch); nothing here.
+            pass
+        elif old is ChunkLocation.DROPPED and new is ChunkLocation.GPU:
+            pass  # recomputation fills the restored slots during prefill
+        else:  # pragma: no cover - no other legal transition exists
+            raise AssertionError(f"unexpected transition {old} -> {new}")
+
+    # ------------------------------------------------------------------
+    # Shared system prompt (paper footnote 3)
+    # ------------------------------------------------------------------
+
+    #: Reserved conversation id used to pin the system prompt's slots in
+    #: the manager's accounting.
+    SYSTEM_CONV_ID = -1
+
+    @property
+    def system_prompt_tokens(self) -> int:
+        return len(self._system_ids)
+
+    def set_system_prompt(
+        self,
+        text: str = "",
+        prompt_ids: Optional[Sequence[int]] = None,
+    ) -> None:
+        """Designate a common system prompt whose KV state is computed
+        once and shared (read-only) by every conversation.
+
+        The paper notes that a chatbot's common system prompt "can be
+        handled by explicitly designating the system prompt state as
+        reusable" — this is that mechanism.  Must be called before any
+        conversation is served.
+
+        Raises:
+            RuntimeError: if conversations already exist or a system
+                prompt was already set.
+            ValueError: on an empty prompt.
+        """
+        if self._system_ids:
+            raise RuntimeError("system prompt already set")
+        if self._tables:
+            raise RuntimeError("set_system_prompt must precede all chats")
+        if prompt_ids is None:
+            prompt_ids = self.tokenizer.encode(text)
+        ids = list(prompt_ids)
+        if not ids:
+            raise ValueError("empty system prompt")
+
+        # Pin the slots in the manager's accounting via a reserved,
+        # permanently-pinned conversation so eviction can never touch them.
+        self.manager.open(self.SYSTEM_CONV_ID, 0.0)
+        plan = self.manager.plan_restore(self.SYSTEM_CONV_ID, len(ids))
+        self.manager.commit_restore(plan, 0.0)
+
+        table = BlockTable(self.pool)
+        table.append_tokens(len(ids))
+        self._tables[self.SYSTEM_CONV_ID] = table
+        self._system_slots = table.slots(0, len(ids))
+        self._system_ids = ids
+
+        # Prefill once; every later request reuses the cached KV rows.
+        request = ForwardRequest(
+            input_ids=np.asarray(ids, dtype=np.int64),
+            context_slots=self._system_slots,
+        )
+        self.model.forward([request])
+
+    def _full_context(self, table: BlockTable) -> List[int]:
+        """System-prompt slots followed by the conversation's own slots."""
+        return self._system_slots + table.slots(0, table.length)
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+
+    def chat(
+        self,
+        conv_id: int,
+        user_text: str = "",
+        prompt_ids: Optional[Sequence[int]] = None,
+        max_new_tokens: int = 16,
+        sampling: SamplingParams = GREEDY,
+    ) -> List[int]:
+        """Serve one turn: prefill the (possibly partially cached) context
+        and greedily decode ``max_new_tokens`` tokens.
+
+        Args:
+            conv_id: conversation identifier.
+            user_text: the user's message (tokenised internally); ignored
+                if ``prompt_ids`` is given.
+            prompt_ids: raw prompt token ids (for tests/scripted runs).
+            max_new_tokens: number of tokens to generate.
+            sampling: decoding strategy (greedy by default; stochastic
+                strategies draw from the server's seeded sampling stream).
+
+        Returns:
+            The generated token ids (decode with ``server.tokenizer``).
+        """
+        self._clock += 1.0
+        now = self._clock
+        if conv_id == self.SYSTEM_CONV_ID:
+            raise ValueError(f"conversation id {conv_id} is reserved")
+        if prompt_ids is None:
+            prompt_ids = self.tokenizer.encode(user_text)
+        prompt_ids = list(prompt_ids)
+        if not prompt_ids:
+            raise ValueError("empty prompt")
+
+        table, dropped, input_ids = self._restore_context(conv_id, prompt_ids, now)
+        history = self.raw_tokens[conv_id]
+        request = ForwardRequest(
+            input_ids=np.asarray(input_ids, dtype=np.int64),
+            context_slots=self._full_context(table),
+            dropped=dropped,
+            shared_prefix=len(self._system_slots),
+        )
+        logits = self.model.forward([request])[0]
+        next_token = sample_token(logits[-1], sampling, self._sampling_rng)
+
+        generated = [next_token]
+        for _ in range(max_new_tokens - 1):
+            self._grow(conv_id, table, now)
+            step = ForwardRequest(
+                input_ids=np.asarray([generated[-1]], dtype=np.int64),
+                context_slots=self._full_context(table),
+                shared_prefix=len(self._system_slots),
+            )
+            step_logits = self.model.next_token_logits([step])[0]
+            generated.append(
+                sample_token(step_logits, sampling, self._sampling_rng)
+            )
+
+        # Account the final token's KV as part of the cached context.
+        self._grow(conv_id, table, now)
+        step = ForwardRequest(
+            input_ids=np.asarray([generated[-1]], dtype=np.int64),
+            context_slots=self._full_context(table),
+            shared_prefix=len(self._system_slots),
+        )
+        self.model.forward([step])
+
+        history.extend(prompt_ids)
+        history.extend(generated)
+        self.manager.close(conv_id, now)
+        return generated
+
+    def _restore_context(
+        self, conv_id: int, prompt_ids: List[int], now: float
+    ) -> Tuple[BlockTable, int, List[int]]:
+        """Bring a conversation's context fully GPU-resident for a turn.
+
+        Pins the conversation, makes room (possibly evicting others),
+        physically swaps CPU chunks back in, allocates slots for the new
+        prompt, and returns ``(block_table, dropped, input_ids)`` where
+        ``input_ids`` is the Figure 8(a) concatenation of recomputed raw
+        tokens and the new prompt.
+        """
+        history = self.raw_tokens.setdefault(conv_id, [])
+        table = self._tables.setdefault(conv_id, BlockTable(self.pool))
+
+        # Pin first so capacity-making below cannot evict this
+        # conversation's own chunks out from under the plan.
+        self.manager.open(conv_id, now)
+        plan = self.manager.plan_restore(conv_id, len(prompt_ids))
+        # Make room (may evict other conversations — the observer moves
+        # their tensors; reclaim happens lazily inside commit_restore).
+        self.manager.ensure_capacity(plan.alloc_tokens, now)
+        self.manager.reclaim(
+            max(0, plan.alloc_tokens - self.manager.gpu_free_tokens),
+            now,
+            exclude=conv_id,
+        )
+
+        # Pull the swap-in chunks' data out of the CPU store *before*
+        # commit flips their state (the observer drops CPU entries on
+        # promotion of GPU_CPU chunks only; CPU->GPU data is handled here).
+        # Capture ranges now: commit_restore may extend the partial tail
+        # chunk in place, but the stored data covers the pre-extension
+        # token range.
+        restored_data = [
+            (chunk.start, chunk.end, self.cpu_store.pop(conv_id, chunk.index))
+            for chunk in plan.swap_in_chunks
+        ]
+        self.manager.commit_restore(plan, now)
+
+        # Physically restore the vacated prefix: dropped tokens get fresh
+        # (empty) slots to be filled by recomputation; CPU tokens get
+        # fresh slots filled from the store.
+        restore_tokens = plan.recompute_tokens + plan.swap_in_tokens
+        if restore_tokens:
+            table.restore_front(restore_tokens)
+        for start, end, (k, v) in restored_data:
+            slots = table.slots(start, end)
+            self.storage.write_all_layers(slots, k, v)
+        table.append_tokens(len(prompt_ids))
+
+        # Figure 8(a): recomputed raw tokens are prepended to the prompt.
+        dropped = plan.recompute_tokens
+        input_ids = history[:dropped] + prompt_ids
+        return table, dropped, input_ids
+
+    def _grow(self, conv_id: int, table: BlockTable, now: float) -> None:
+        """Extend a running conversation by one decode token, swapping
+        other conversations out of the way if the GPU tier is full."""
+        if self.manager.gpu_available_tokens < 1:
+            self.manager.ensure_capacity(1, now)
+        self.manager.append_tokens(conv_id, 1)
+        table.append_tokens(1)
+
+    # ------------------------------------------------------------------
+    # Batched serving (unified batching, functional layer)
+    # ------------------------------------------------------------------
+
+    def chat_batch(
+        self,
+        prompts: Sequence[Tuple[int, Sequence[int]]],
+        max_new_tokens: int = 16,
+        sampling: SamplingParams = GREEDY,
+    ) -> Dict[int, List[int]]:
+        """Serve several conversations' turns in unified batches.
+
+        All prefills run in one forward pass (mixing fresh and returning
+        conversations, exactly the §4.2 unified batch) and every decode
+        step advances all conversations together.  With greedy sampling
+        the outputs are identical to serving the turns sequentially —
+        batching is purely a throughput optimisation.
+
+        Args:
+            prompts: ``(conv_id, prompt_ids)`` pairs; conversation ids
+                must be distinct within one batch.
+            max_new_tokens: tokens to generate per conversation.
+            sampling: decoding strategy (stochastic strategies consume the
+                sampling stream in batch order, so they match sequential
+                serving only in distribution, not token-for-token).
+
+        Returns:
+            Mapping of conversation id to its generated token ids.
+        """
+        self._clock += 1.0
+        now = self._clock
+        conv_ids = [conv_id for conv_id, _ in prompts]
+        if len(set(conv_ids)) != len(conv_ids):
+            raise ValueError("duplicate conversation ids in one batch")
+        if self.SYSTEM_CONV_ID in conv_ids:
+            raise ValueError(f"conversation id {self.SYSTEM_CONV_ID} is reserved")
+
+        # Phase 1: restore/extend every conversation's context (pins all,
+        # so later restores cannot evict earlier batch members).
+        prepared = []
+        for conv_id, prompt_ids in prompts:
+            prompt_ids = list(prompt_ids)
+            if not prompt_ids:
+                raise ValueError(f"empty prompt for conversation {conv_id}")
+            table, dropped, input_ids = self._restore_context(
+                conv_id, prompt_ids, now
+            )
+            prepared.append((conv_id, prompt_ids, table, dropped, input_ids))
+
+        # Phase 2: one unified prefill batch.
+        shared = len(self._system_slots)
+        requests = [
+            ForwardRequest(
+                input_ids=np.asarray(input_ids, dtype=np.int64),
+                context_slots=self._full_context(table),
+                dropped=dropped,
+                shared_prefix=shared,
+            )
+            for _, _, table, dropped, input_ids in prepared
+        ]
+        logits = self.model.forward(requests)
+        generated: Dict[int, List[int]] = {
+            conv_id: [sample_token(l[-1], sampling, self._sampling_rng)]
+            for (conv_id, _, _, _, _), l in zip(prepared, logits)
+        }
+
+        # Phase 3: batched decode steps (every conversation advances by
+        # one token per iteration, like the simulated engine).
+        for _ in range(max_new_tokens):
+            steps = []
+            for conv_id, _, table, _, _ in prepared:
+                self._grow(conv_id, table, now)
+                steps.append(
+                    ForwardRequest(
+                        input_ids=np.asarray(
+                            [generated[conv_id][-1]], dtype=np.int64
+                        ),
+                        context_slots=self._full_context(table),
+                        shared_prefix=shared,
+                    )
+                )
+            step_logits = self.model.forward(steps)
+            if len(generated[prepared[0][0]]) >= max_new_tokens:
+                break  # final iteration only wrote the last tokens' KV
+            for (conv_id, _, _, _, _), l in zip(prepared, step_logits):
+                generated[conv_id].append(
+                    sample_token(l[-1], sampling, self._sampling_rng)
+                )
+
+        # Phase 4: persist raw tokens and unpin.
+        for conv_id, prompt_ids, _, _, _ in prepared:
+            history = self.raw_tokens.setdefault(conv_id, [])
+            history.extend(prompt_ids)
+            history.extend(generated[conv_id])
+            self.manager.close(conv_id, now)
+        return generated
+
+    def chat_text(self, conv_id: int, user_text: str, max_new_tokens: int = 16) -> str:
+        """Convenience wrapper returning decoded text."""
+        ids = self.chat(conv_id, user_text=user_text, max_new_tokens=max_new_tokens)
+        return self.tokenizer.decode(ids)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def context_length(self, conv_id: int) -> int:
+        """Cached context length of a conversation (0 if unknown)."""
+        cache = self.manager.conversation(conv_id)
+        return cache.total_tokens if cache else 0
+
+    def placement(self, conv_id: int) -> Dict[str, int]:
+        """Figure 5 decomposition of a conversation's cached context."""
+        cache = self.manager.conversation(conv_id)
+        if cache is None:
+            return {}
+        seg = cache.segments()
+        return {loc.value: tokens for loc, tokens in seg.items() if tokens}

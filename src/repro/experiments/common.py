@@ -1,0 +1,169 @@
+"""Shared experiment machinery: serving runs, rate sweeps, curve queries.
+
+The latency–throughput methodology follows the paper's end-to-end
+evaluation (§6.2): for each request rate, a fixed scripted workload is
+served to completion by each engine; the achieved throughput and the
+normalized latency are one point of the engine's curve.  "Throughput at a
+latency target" is then read off the curve by interpolation — this is how
+the paper states results like "1.36x the throughput of vLLM at 120 ms per
+token latency".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.serving.engine import EngineBase
+from repro.serving.request import Conversation
+from repro.sim.events import EventLoop
+from repro.workload.dataset import DatasetSpec, generate_workload
+from repro.workload.driver import ConversationDriver
+
+#: Builds a fresh engine bound to the given loop.
+EngineFactory = Callable[[EventLoop], EngineBase]
+
+
+@dataclass(frozen=True)
+class RatePoint:
+    """One point of a latency–throughput curve."""
+
+    request_rate: float
+    throughput_rps: float
+    mean_norm_latency: float
+    p90_norm_latency: float
+    num_requests: int
+    extras: Dict[str, float]
+
+    def as_row(self) -> Dict[str, float]:
+        row = {
+            "rate": self.request_rate,
+            "throughput_rps": round(self.throughput_rps, 4),
+            "mean_norm_latency_ms": round(self.mean_norm_latency * 1e3, 2),
+            "p90_norm_latency_ms": round(self.p90_norm_latency * 1e3, 2),
+        }
+        row.update(self.extras)
+        return row
+
+
+def run_serving_once(
+    engine_factory: EngineFactory,
+    conversations: Sequence[Conversation],
+    max_events: int = 50_000_000,
+    until: Optional[float] = None,
+    warmup: float = 0.0,
+) -> tuple:
+    """Serve one scripted workload (to completion, or up to ``until``).
+
+    Returns ``(engine, stats)``; the engine is returned so callers can
+    inspect traces, cache statistics or suspension counters.
+    """
+    loop = EventLoop()
+    engine = engine_factory(loop)
+    driver = ConversationDriver(loop, engine, conversations)
+    driver.run(until=until, max_events=max_events)
+    return engine, driver.stats(warmup=warmup, until=until)
+
+
+def run_rate_sweep(
+    engine_factory: EngineFactory,
+    dataset: DatasetSpec,
+    rates: Sequence[float],
+    duration: float = 600.0,
+    warmup_fraction: float = 0.3,
+    think_time_mean: float = 60.0,
+    seed: int = 7,
+    extras_fn: Optional[Callable[[EngineBase], Dict[str, float]]] = None,
+) -> List[RatePoint]:
+    """Sweep request rates and collect one latency–throughput curve.
+
+    For each rate, conversation arrivals are sustained over ``duration``
+    simulated seconds (open-loop: the offered load never dries up inside
+    the measurement window) and statistics are taken over
+    ``(warmup_fraction * duration, duration]`` — so in the stable regime
+    the measured throughput tracks the offered rate, and past saturation
+    it plateaus at system capacity while latency climbs, which is exactly
+    the curve shape of Figures 10/11.
+
+    Every engine under comparison must be swept with the same ``seed`` so
+    the scripted conversations (lengths, think times, arrival pattern) are
+    identical across systems.
+    """
+    points: List[RatePoint] = []
+    for rate in rates:
+        conversations = generate_workload(
+            dataset,
+            request_rate=rate,
+            duration=duration,
+            think_time_mean=think_time_mean,
+            seed=seed,
+        )
+        engine, stats = run_serving_once(
+            engine_factory,
+            conversations,
+            until=duration,
+            warmup=warmup_fraction * duration,
+        )
+        extras = extras_fn(engine) if extras_fn else {}
+        points.append(
+            RatePoint(
+                request_rate=rate,
+                throughput_rps=stats.throughput_rps,
+                mean_norm_latency=stats.mean_normalized_latency,
+                p90_norm_latency=stats.p90_normalized_latency,
+                num_requests=stats.num_requests,
+                extras=extras,
+            )
+        )
+    return points
+
+
+def throughput_at_latency(
+    points: Sequence[RatePoint],
+    latency_target: float,
+    use_p90: bool = False,
+) -> float:
+    """Maximum achieved throughput whose normalized latency is within
+    ``latency_target`` seconds/token, linearly interpolating between the
+    last compliant and the first violating point of the curve.
+
+    Falls back to the best compliant point when the curve never crosses
+    the target, and to 0 if even the lightest load violates it.
+    """
+    if not points:
+        raise ValueError("empty curve")
+    ordered = sorted(points, key=lambda p: p.request_rate)
+    metric = (
+        (lambda p: p.p90_norm_latency) if use_p90
+        else (lambda p: p.mean_norm_latency)
+    )
+    best = 0.0
+    for i, point in enumerate(ordered):
+        if metric(point) <= latency_target:
+            best = max(best, point.throughput_rps)
+            nxt = ordered[i + 1] if i + 1 < len(ordered) else None
+            if nxt is not None and metric(nxt) > latency_target:
+                # Interpolate the crossing between this point and the next.
+                span = metric(nxt) - metric(point)
+                if span > 0:
+                    frac = (latency_target - metric(point)) / span
+                    best = max(
+                        best,
+                        point.throughput_rps
+                        + frac * (nxt.throughput_rps - point.throughput_rps),
+                    )
+    return best
+
+
+def format_curve_table(name: str, points: Sequence[RatePoint]) -> str:
+    """Human-readable curve table for experiment reports."""
+    lines = [f"== {name} =="]
+    lines.append(
+        f"{'rate':>6} {'thr(req/s)':>11} {'mean nlat(ms)':>14} {'p90 nlat(ms)':>13}"
+    )
+    for p in sorted(points, key=lambda p: p.request_rate):
+        lines.append(
+            f"{p.request_rate:>6.2f} {p.throughput_rps:>11.3f} "
+            f"{p.mean_norm_latency * 1e3:>14.1f} {p.p90_norm_latency * 1e3:>13.1f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,52 @@
+"""Figure 4: attention cost of a 32-token chunk vs context size.
+
+The measurement that motivates evicting *leading* tokens: attention time
+for a fixed chunk grows linearly with the context it attends to, while
+non-attention time is constant.  Values are normalised by the per-layer
+non-attention time, exactly as in the paper's figure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.gpu.costmodel import CostModel
+from repro.gpu.device import A100_80GB, GpuSpec
+from repro.model.config import OPT_13B, ModelConfig
+
+DEFAULT_CONTEXT_SIZES = (32, 256, 1024, 2048, 4096, 8192, 16384)
+
+
+def run_fig04(
+    config: ModelConfig = OPT_13B,
+    spec: GpuSpec = A100_80GB,
+    chunk: int = 32,
+    batch_size: int = 32,
+    context_sizes: Sequence[int] = DEFAULT_CONTEXT_SIZES,
+) -> List[Dict[str, float]]:
+    """Compute normalized attention cost per context size."""
+    cm = CostModel(config, spec)
+    norm = cm.non_attention_chunk_time(chunk, batch_size=batch_size)
+    rows: List[Dict[str, float]] = []
+    for ctx in context_sizes:
+        attention = cm.attention_chunk_time(chunk, ctx, batch_size=batch_size)
+        rows.append(
+            {
+                "context_tokens": ctx,
+                "attention_s": attention,
+                "non_attention_s": norm,
+                "normalized": attention / norm,
+            }
+        )
+    return rows
+
+
+def format_fig04(rows: List[Dict[str, float]]) -> str:
+    lines = [
+        "Figure 4 — attention time of a 32-token chunk, normalized by "
+        "per-layer non-attention time",
+        f"{'context':>8} {'normalized attention cost':>26}",
+    ]
+    for row in rows:
+        lines.append(f"{row['context_tokens']:>8d} {row['normalized']:>26.3f}")
+    return "\n".join(lines)

@@ -1,0 +1,34 @@
+"""Simulated GPU substrate.
+
+This subpackage substitutes for the A100 hardware of the paper's testbed:
+
+- :mod:`repro.gpu.device` — device specifications (peak FLOPs, HBM
+  bandwidth, memory capacity, interconnects) with an A100-80GB preset;
+- :mod:`repro.gpu.costmodel` — an analytical roofline model that converts
+  batch shapes into kernel execution times, including the Figure 12 kernel
+  variants (ideal contiguous, Pensieve multi-token paged, CopyOut straw-man,
+  multi-round PagedAttention straw-man);
+- :mod:`repro.gpu.pcie` — a host link transfer engine with the full-duplex
+  contention the paper measured (§5) and the retrieval-over-eviction
+  prioritization optimisation;
+- :mod:`repro.gpu.profiler` — the offline power-of-two profiling +
+  interpolation used by the retention-value eviction policy (§4.3.1).
+"""
+
+from repro.gpu.device import A100_80GB, GpuSpec
+from repro.gpu.costmodel import BatchShape, CostModel, KernelVariant
+from repro.gpu.pcie import Direction, PcieEngine, TransferRecord
+from repro.gpu.profiler import AttentionCostProfile, OfflineProfiler
+
+__all__ = [
+    "GpuSpec",
+    "A100_80GB",
+    "CostModel",
+    "BatchShape",
+    "KernelVariant",
+    "PcieEngine",
+    "Direction",
+    "TransferRecord",
+    "OfflineProfiler",
+    "AttentionCostProfile",
+]

@@ -1,0 +1,40 @@
+"""Functional (numpy) attention kernels.
+
+This subpackage implements, at the algorithm level, every attention kernel
+the paper discusses:
+
+- :func:`~repro.kernels.reference.reference_attention` — textbook
+  materialised-softmax attention over a *contiguous* KV region; the ground
+  truth all other kernels are verified against;
+- :func:`~repro.kernels.multi_token.multi_token_attention` — **the paper's
+  contribution (§4.4)**: attention between a ragged batch of multi-token
+  queries and KV-tokens scattered over non-contiguous pages, with fused
+  causal masking, computed with the same online-softmax tiling a fused GPU
+  kernel uses;
+- :func:`~repro.kernels.single_token.single_token_attention` — vLLM's
+  PagedAttention: the one-query-token special case;
+- :func:`~repro.kernels.strawmen.copyout_attention` and
+  :func:`~repro.kernels.strawmen.multiround_attention` — the two Figure 12
+  straw-men (functionally correct, structurally wasteful);
+- :mod:`~repro.kernels.subrequests` — the Figure 8(d) splitting of a
+  request whose query tokens occupy two disconnected context ranges
+  (recomputed dropped prefix + new prompt) into sub-requests that share
+  the underlying context.
+"""
+
+from repro.kernels.request import AttentionRequest
+from repro.kernels.reference import reference_attention
+from repro.kernels.multi_token import multi_token_attention
+from repro.kernels.single_token import single_token_attention
+from repro.kernels.strawmen import copyout_attention, multiround_attention
+from repro.kernels.subrequests import split_disjoint_query
+
+__all__ = [
+    "AttentionRequest",
+    "reference_attention",
+    "multi_token_attention",
+    "single_token_attention",
+    "copyout_attention",
+    "multiround_attention",
+    "split_disjoint_query",
+]

@@ -1,0 +1,84 @@
+"""Batched attention request description.
+
+An :class:`AttentionRequest` describes one request's share of a batched
+attention call (Figure 6 of the paper): its query tokens and the physical
+locations of the KV-tokens forming its context.  Queries are *positioned*:
+the ``i``-th query token sits at logical context position
+``context_len - num_query_tokens + i`` and causally attends to every
+context position up to and including its own.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass
+class AttentionRequest:
+    """One request in a batched paged-attention invocation.
+
+    Attributes:
+        query: ``[num_query_tokens, num_heads, head_dim]`` query
+            representations for this request's input tokens.
+        slots: flat physical slot indices of the request's context
+            KV-tokens, in *logical* order.  The context includes the
+            KV-tokens of the query tokens themselves (they are written to
+            the cache before attention runs, matching Figure 8 step (c)).
+        query_offset: logical position of the first query token.  Defaults
+            to ``len(slots) - num_query_tokens`` (queries at the end of the
+            context — the common case); the Figure 8(d) "dropped prefix"
+            sub-request positions its queries elsewhere.
+    """
+
+    query: np.ndarray
+    slots: Sequence[int]
+    query_offset: int = field(default=-1)
+
+    def __post_init__(self) -> None:
+        if self.query.ndim != 3:
+            raise ValueError(
+                f"query must be [tokens, heads, head_dim], got shape "
+                f"{self.query.shape}"
+            )
+        if self.query_offset == -1:
+            self.query_offset = len(self.slots) - self.num_query_tokens
+        if self.query_offset < 0:
+            raise ValueError(
+                f"query_offset {self.query_offset} negative (context "
+                f"{len(self.slots)} tokens, query {self.num_query_tokens})"
+            )
+        if self.query_offset + self.num_query_tokens > len(self.slots):
+            raise ValueError(
+                f"query range [{self.query_offset}, "
+                f"{self.query_offset + self.num_query_tokens}) exceeds "
+                f"context length {len(self.slots)}"
+            )
+
+    @property
+    def num_query_tokens(self) -> int:
+        return self.query.shape[0]
+
+    @property
+    def num_heads(self) -> int:
+        return self.query.shape[1]
+
+    @property
+    def head_dim(self) -> int:
+        return self.query.shape[2]
+
+    @property
+    def context_len(self) -> int:
+        return len(self.slots)
+
+    def query_positions(self) -> np.ndarray:
+        """Logical context positions of the query tokens."""
+        return np.arange(
+            self.query_offset, self.query_offset + self.num_query_tokens
+        )
+
+    def visible_context_len(self) -> int:
+        """Context positions visible to the *last* query token."""
+        return self.query_offset + self.num_query_tokens

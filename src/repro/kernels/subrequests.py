@@ -1,0 +1,92 @@
+"""Sub-request splitting for dropped-token recomputation (Figure 8d).
+
+When a request's leading KV-tokens were dropped from the CPU cache, their
+raw tokens are prepended to the new prompt and recomputed (§4.3.4).  The
+query tensor then corresponds to **two disconnected ranges** of the
+context:
+
+- the recomputed dropped prefix, positions ``[0, dropped)``;
+- the new prompt, positions ``[cached_end, total)``,
+
+with the restored cache filling the middle.  Every existing attention
+kernel assumes one consecutive query region, so Pensieve treats the ranges
+as *two sub-requests sharing the underlying context*: the prefix attends
+(causally) to itself; the prompt attends to the entire context.  Only
+auxiliary indices change — no KV data moves.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.kernels.request import AttentionRequest
+
+
+def split_disjoint_query(
+    query: np.ndarray,
+    slots: Sequence[int],
+    dropped: int,
+    shared_prefix: int = 0,
+) -> List[AttentionRequest]:
+    """Split a recompute-carrying request into Figure 8(d) sub-requests.
+
+    Args:
+        query: ``[dropped + new_prompt, heads, dim]`` query tensor — the
+            recomputed prefix tokens followed by the new prompt tokens
+            (they were concatenated in Figure 8 step (a)).
+        slots: physical slots of the **full** context, length
+            ``total = shared_prefix + dropped + cached + new_prompt``.
+        dropped: number of recomputed leading tokens.
+        shared_prefix: tokens of always-resident shared state (e.g. a
+            common system prompt, paper footnote 3) preceding the
+            conversation's own context.  The recomputed prefix sits at
+            positions ``[shared_prefix, shared_prefix + dropped)`` and
+            causally attends to the shared state as well as to itself.
+
+    Returns:
+        A list of one or two :class:`AttentionRequest`; a zero-``dropped``
+        split degenerates to the ordinary single request.
+
+    Raises:
+        ValueError: on inconsistent sizes.
+    """
+    total = len(slots)
+    num_query = query.shape[0]
+    if dropped < 0:
+        raise ValueError(f"dropped must be non-negative, got {dropped}")
+    if shared_prefix < 0:
+        raise ValueError(f"shared_prefix must be non-negative, got {shared_prefix}")
+    if dropped > num_query:
+        raise ValueError(
+            f"dropped ({dropped}) exceeds query tokens ({num_query})"
+        )
+    new_prompt = num_query - dropped
+    cached = total - num_query - shared_prefix
+    if cached < 0:
+        raise ValueError(
+            f"query tokens ({num_query}) plus shared prefix "
+            f"({shared_prefix}) exceed context length ({total})"
+        )
+    subrequests: List[AttentionRequest] = []
+    if dropped > 0:
+        # Sub-request 1: the dropped prefix attends to the shared state
+        # and to itself only.
+        subrequests.append(
+            AttentionRequest(
+                query=query[:dropped],
+                slots=list(slots[: shared_prefix + dropped]),
+                query_offset=shared_prefix,
+            )
+        )
+    if new_prompt > 0:
+        # Sub-request 2: the new prompt attends to the entire context.
+        subrequests.append(
+            AttentionRequest(
+                query=query[dropped:],
+                slots=list(slots),
+                query_offset=total - new_prompt,
+            )
+        )
+    return subrequests

@@ -1,0 +1,159 @@
+"""Numpy tensor storage for the two cache tiers.
+
+:class:`KVStorage` is the "GPU memory": per-layer K and V arrays indexed by
+flat slot index (page id x page size + offset).  :class:`CpuChunkStore` is
+the "CPU memory": an associative store of evicted chunks keyed by
+``(conversation id, chunk index)``.
+
+Only the functional layer allocates these; the performance simulation runs
+the identical bookkeeping code with ``storage=None``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+if TYPE_CHECKING:  # avoids a circular import with repro.model
+    from repro.model.config import ModelConfig
+
+
+class KVStorage:
+    """Per-layer K/V slot arrays backing a :class:`~repro.kvcache.pages.PagePool`.
+
+    Shapes are ``[num_layers, num_slots, num_kv_heads, head_dim]``.  Slots
+    are written through :meth:`write` during QKV projection and read (by
+    flat slot index, in arbitrary order) by the paged attention kernels.
+    """
+
+    def __init__(
+        self,
+        config: ModelConfig,
+        num_slots: int,
+        dtype: np.dtype = np.float32,
+    ) -> None:
+        if num_slots <= 0:
+            raise ValueError(f"num_slots must be positive, got {num_slots}")
+        self.config = config
+        self.num_slots = num_slots
+        shape = (config.num_layers, num_slots, config.num_kv_heads, config.head_dim)
+        self.k = np.zeros(shape, dtype=dtype)
+        self.v = np.zeros(shape, dtype=dtype)
+
+    def write(
+        self,
+        layer: int,
+        slots: Sequence[int],
+        k: np.ndarray,
+        v: np.ndarray,
+    ) -> None:
+        """Store K/V rows for ``slots`` in ``layer``.
+
+        ``k`` and ``v`` have shape ``[len(slots), num_kv_heads, head_dim]``.
+        """
+        idx = np.asarray(slots, dtype=np.int64)
+        if k.shape[0] != len(idx) or v.shape[0] != len(idx):
+            raise ValueError(
+                f"K/V row count {k.shape[0]}/{v.shape[0]} != slot count {len(idx)}"
+            )
+        self.k[layer, idx] = k
+        self.v[layer, idx] = v
+
+    def read(
+        self, layer: int, slots: Sequence[int]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Gather K/V rows for ``slots`` in ``layer`` (logical order)."""
+        idx = np.asarray(slots, dtype=np.int64)
+        return self.k[layer, idx], self.v[layer, idx]
+
+    def read_all_layers(
+        self, slots: Sequence[int]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Gather K/V rows for ``slots`` across all layers at once.
+
+        Returns arrays of shape ``[num_layers, len(slots), kv_heads, head_dim]``.
+        """
+        idx = np.asarray(slots, dtype=np.int64)
+        return self.k[:, idx], self.v[:, idx]
+
+    def write_all_layers(
+        self, slots: Sequence[int], k: np.ndarray, v: np.ndarray
+    ) -> None:
+        """Scatter K/V rows for ``slots`` across all layers at once."""
+        idx = np.asarray(slots, dtype=np.int64)
+        self.k[:, idx] = k
+        self.v[:, idx] = v
+
+
+class CpuChunkStore:
+    """Host-memory store of evicted KV chunks.
+
+    Each entry holds the all-layer K/V tensors of one chunk.  Capacity is
+    expressed in tokens; callers are responsible for making room (the
+    two-tier manager drops chunks by policy before inserting).
+    """
+
+    def __init__(self, capacity_tokens: int) -> None:
+        if capacity_tokens < 0:
+            raise ValueError(f"capacity_tokens must be >= 0, got {capacity_tokens}")
+        self.capacity_tokens = capacity_tokens
+        self._entries: Dict[Tuple[int, int], Tuple[np.ndarray, np.ndarray]] = {}
+        self._tokens: Dict[Tuple[int, int], int] = {}
+        self.used_tokens = 0
+
+    def put(
+        self,
+        conv_id: int,
+        chunk_index: int,
+        k: np.ndarray,
+        v: np.ndarray,
+    ) -> None:
+        """Insert one chunk's K/V data (arrays ``[layers, tokens, heads, dim]``).
+
+        Raises:
+            MemoryError: if the chunk does not fit.
+            KeyError: if the chunk is already stored.
+        """
+        key = (conv_id, chunk_index)
+        if key in self._entries:
+            raise KeyError(f"chunk {key} already in CPU store")
+        tokens = k.shape[1]
+        if self.used_tokens + tokens > self.capacity_tokens:
+            raise MemoryError(
+                f"CPU store full: {self.used_tokens}+{tokens} > {self.capacity_tokens}"
+            )
+        self._entries[key] = (k.copy(), v.copy())
+        self._tokens[key] = tokens
+        self.used_tokens += tokens
+
+    def get(self, conv_id: int, chunk_index: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Fetch a chunk's K/V data without removing it."""
+        return self._entries[(conv_id, chunk_index)]
+
+    def pop(self, conv_id: int, chunk_index: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Remove and return a chunk's K/V data."""
+        key = (conv_id, chunk_index)
+        data = self._entries.pop(key)
+        self.used_tokens -= self._tokens.pop(key)
+        return data
+
+    def drop(self, conv_id: int, chunk_index: int) -> None:
+        """Discard a chunk (CPU-tier eviction)."""
+        key = (conv_id, chunk_index)
+        del self._entries[key]
+        self.used_tokens -= self._tokens.pop(key)
+
+    def contains(self, conv_id: int, chunk_index: int) -> bool:
+        return (conv_id, chunk_index) in self._entries
+
+    def chunks_of(self, conv_id: int) -> List[int]:
+        """Chunk indices stored for one conversation, ascending."""
+        return sorted(ci for c, ci in self._entries if c == conv_id)
+
+    @property
+    def free_tokens(self) -> int:
+        return self.capacity_tokens - self.used_tokens
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,37 @@
+"""Numpy transformer models and configurations.
+
+``repro.model`` provides:
+
+- :class:`~repro.model.config.ModelConfig` — hyper-parameters for the four
+  models evaluated in the paper (Table 1) plus tiny test-scale presets;
+- a functional numpy Transformer (:mod:`repro.model.transformer`) covering
+  both the OPT architecture (LayerNorm, learned positional embeddings, ReLU)
+  and the Llama-2 architecture (RMSNorm, rotary embeddings, SwiGLU,
+  grouped-query attention), running prefill and decode through the paged KV
+  cache of :mod:`repro.kvcache`.
+"""
+
+from repro.model.config import (
+    LLAMA2_13B,
+    LLAMA2_70B,
+    OPT_13B,
+    OPT_66B,
+    PAPER_MODELS,
+    ModelConfig,
+    tiny_llama_config,
+    tiny_opt_config,
+)
+from repro.model.transformer import ForwardRequest, PagedTransformer
+
+__all__ = [
+    "ModelConfig",
+    "ForwardRequest",
+    "PagedTransformer",
+    "OPT_13B",
+    "OPT_66B",
+    "LLAMA2_13B",
+    "LLAMA2_70B",
+    "PAPER_MODELS",
+    "tiny_opt_config",
+    "tiny_llama_config",
+]

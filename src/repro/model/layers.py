@@ -1,0 +1,135 @@
+"""Elementary neural-network layers in numpy.
+
+Only what the two paper architectures need: LayerNorm (OPT) and RMSNorm
+(Llama 2, [54]), ReLU and SiLU activations, and dense projections.  All
+layers are pure functions over explicit weight arrays so the model can be
+constructed deterministically from a seed and weights can be shared or
+sharded without hidden state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Rectified linear unit."""
+    return np.maximum(x, 0.0)
+
+
+def silu(x: np.ndarray) -> np.ndarray:
+    """Sigmoid-weighted linear unit (SiLU / swish), used by Llama 2."""
+    return x / (1.0 + np.exp(-x))
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    shifted = x - x.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    return e / e.sum(axis=axis, keepdims=True)
+
+
+@dataclass
+class LayerNorm:
+    """Standard layer normalisation with learned gain and bias."""
+
+    gain: np.ndarray
+    bias: np.ndarray
+    eps: float = 1e-5
+
+    @classmethod
+    def identity(cls, dim: int) -> "LayerNorm":
+        return cls(gain=np.ones(dim), bias=np.zeros(dim))
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        mean = x.mean(axis=-1, keepdims=True)
+        var = x.var(axis=-1, keepdims=True)
+        return (x - mean) / np.sqrt(var + self.eps) * self.gain + self.bias
+
+
+@dataclass
+class RMSNorm:
+    """Root-mean-square normalisation (no mean subtraction, no bias) [54]."""
+
+    gain: np.ndarray
+    eps: float = 1e-5
+
+    @classmethod
+    def identity(cls, dim: int) -> "RMSNorm":
+        return cls(gain=np.ones(dim))
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        rms = np.sqrt(np.mean(x * x, axis=-1, keepdims=True) + self.eps)
+        return x / rms * self.gain
+
+
+@dataclass
+class Linear:
+    """Dense projection ``y = x W + b`` (weight stored input-major)."""
+
+    weight: np.ndarray  # [in_dim, out_dim]
+    bias: np.ndarray | None = None
+
+    @classmethod
+    def init(
+        cls,
+        rng: np.random.Generator,
+        in_dim: int,
+        out_dim: int,
+        with_bias: bool = True,
+        scale: float = 0.0,
+    ) -> "Linear":
+        """Gaussian init scaled for unit-variance activations."""
+        if scale == 0.0:
+            scale = 1.0 / np.sqrt(in_dim)
+        weight = rng.standard_normal((in_dim, out_dim)) * scale
+        bias = np.zeros(out_dim) if with_bias else None
+        return cls(weight=weight, bias=bias)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        y = x @ self.weight
+        if self.bias is not None:
+            y = y + self.bias
+        return y
+
+
+@dataclass
+class OptMlp:
+    """OPT's two-layer feed-forward network with ReLU."""
+
+    up: Linear
+    down: Linear
+
+    @classmethod
+    def init(cls, rng: np.random.Generator, hidden: int, intermediate: int) -> "OptMlp":
+        return cls(
+            up=Linear.init(rng, hidden, intermediate),
+            down=Linear.init(rng, intermediate, hidden),
+        )
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.down(relu(self.up(x)))
+
+
+@dataclass
+class SwiGluMlp:
+    """Llama 2's gated feed-forward network: ``down(silu(gate(x)) * up(x))``."""
+
+    gate: Linear
+    up: Linear
+    down: Linear
+
+    @classmethod
+    def init(
+        cls, rng: np.random.Generator, hidden: int, intermediate: int
+    ) -> "SwiGluMlp":
+        return cls(
+            gate=Linear.init(rng, hidden, intermediate, with_bias=False),
+            up=Linear.init(rng, hidden, intermediate, with_bias=False),
+            down=Linear.init(rng, intermediate, hidden, with_bias=False),
+        )
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.down(silu(self.gate(x)) * self.up(x))

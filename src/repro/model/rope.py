@@ -1,0 +1,50 @@
+"""Rotary positional embeddings (RoPE), as used by Llama 2.
+
+RoPE rotates each (even, odd) coordinate pair of the query/key vectors by
+an angle proportional to the token's absolute position, so relative offsets
+appear as phase differences in the dot product.  Because the rotation is a
+function of *absolute position*, cached K rows remain valid after being
+swapped out and back in — position never changes — which is what lets
+Pensieve reuse KV-tokens across requests without re-rotation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def rope_frequencies(head_dim: int, base: float = 10000.0) -> np.ndarray:
+    """Per-pair inverse frequencies, shape ``[head_dim // 2]``."""
+    if head_dim % 2 != 0:
+        raise ValueError(f"head_dim must be even for RoPE, got {head_dim}")
+    exponents = np.arange(0, head_dim, 2) / head_dim
+    return base ** (-exponents)
+
+
+def apply_rope(x: np.ndarray, positions: np.ndarray, base: float = 10000.0) -> np.ndarray:
+    """Rotate ``x`` by its tokens' positions.
+
+    Args:
+        x: ``[tokens, heads, head_dim]`` query or key tensor.
+        positions: ``[tokens]`` absolute positions.
+        base: RoPE frequency base.
+
+    Returns:
+        The rotated tensor (same shape; input not modified).
+    """
+    if x.ndim != 3:
+        raise ValueError(f"x must be [tokens, heads, head_dim], got {x.shape}")
+    if positions.shape[0] != x.shape[0]:
+        raise ValueError(
+            f"positions ({positions.shape[0]}) must match tokens ({x.shape[0]})"
+        )
+    freqs = rope_frequencies(x.shape[-1], base)  # [dim/2]
+    angles = positions[:, None].astype(np.float64) * freqs[None, :]  # [t, dim/2]
+    cos = np.cos(angles)[:, None, :]  # [t, 1, dim/2]
+    sin = np.sin(angles)[:, None, :]
+    x_even = x[..., 0::2]
+    x_odd = x[..., 1::2]
+    out = np.empty_like(x)
+    out[..., 0::2] = x_even * cos - x_odd * sin
+    out[..., 1::2] = x_even * sin + x_odd * cos
+    return out

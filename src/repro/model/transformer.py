@@ -1,0 +1,242 @@
+"""A paged-KV-cache transformer in numpy.
+
+:class:`PagedTransformer` runs real forward passes for batches of requests
+whose KV caches live at arbitrary physical slots of a
+:class:`~repro.kvcache.storage.KVStorage`.  It supports both paper
+architectures (OPT and Llama 2) and the full Pensieve request shape:
+
+- unified batches mixing prefill (multi-token) and generation
+  (single-token) requests (§4.2);
+- contexts scattered over non-contiguous pages (Figure 6);
+- requests whose input tokens cover two disconnected context ranges —
+  recomputed dropped prefix + new prompt — via Figure 8(d) sub-request
+  splitting.
+
+The model is intentionally small-scale (tests use 2-4 layers, hidden 32)
+but architecturally faithful; it exists to prove the serving machinery
+end-to-end: a conversation served over many turns with arbitrary
+swap-out/swap-in/drop traffic must produce *identical* logits to a
+stateless from-scratch run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.kernels import multi_token_attention, split_disjoint_query
+from repro.kvcache.storage import KVStorage
+from repro.model.config import ModelConfig
+from repro.model.layers import LayerNorm, Linear, OptMlp, RMSNorm, SwiGluMlp
+from repro.model.rope import apply_rope
+
+
+@dataclass
+class ForwardRequest:
+    """One request's share of a batched forward pass.
+
+    Attributes:
+        input_ids: ``[n_new]`` raw token ids to process this step: for a
+            prefill request the (possibly recompute-prefixed) prompt, for a
+            generation request the single last-output token.
+        context_slots: physical slots of the **entire** context in logical
+            order, length ``total_context``.  Includes the slots the new
+            tokens will be written to.
+        positions: ``[n_new]`` logical positions of the input tokens within
+            the context.  Defaults to the trailing positions.
+        dropped: number of leading input tokens that are a recomputed
+            dropped prefix (positions ``[shared_prefix, shared_prefix +
+            dropped)``); the rest are the new prompt at the trailing
+            positions.
+        shared_prefix: tokens of always-resident shared context (e.g. a
+            common system prompt) at the very front of ``context_slots``;
+            they are never recomputed and never written by this request.
+    """
+
+    input_ids: np.ndarray
+    context_slots: Sequence[int]
+    positions: Optional[np.ndarray] = None
+    dropped: int = 0
+    shared_prefix: int = 0
+
+    def __post_init__(self) -> None:
+        self.input_ids = np.asarray(self.input_ids, dtype=np.int64)
+        n_new = self.input_ids.shape[0]
+        total = len(self.context_slots)
+        if self.dropped < 0 or self.dropped > n_new:
+            raise ValueError(f"invalid dropped count {self.dropped}")
+        if self.shared_prefix < 0 or self.shared_prefix + n_new > total:
+            raise ValueError(
+                f"{n_new} input tokens plus shared prefix "
+                f"{self.shared_prefix} exceed context of {total} slots"
+            )
+        if self.positions is None:
+            prompt = n_new - self.dropped
+            lead = self.shared_prefix + np.arange(self.dropped)
+            tail = np.arange(total - prompt, total)
+            self.positions = np.concatenate([lead, tail])
+        self.positions = np.asarray(self.positions, dtype=np.int64)
+        if self.positions.shape[0] != n_new:
+            raise ValueError("positions must match input token count")
+
+    @property
+    def num_new_tokens(self) -> int:
+        return int(self.input_ids.shape[0])
+
+    def write_slots(self) -> List[int]:
+        """Physical slots the new tokens' KV rows are written to."""
+        return [self.context_slots[int(p)] for p in self.positions]
+
+
+@dataclass
+class _LayerWeights:
+    attn_norm: object
+    q_proj: Linear
+    k_proj: Linear
+    v_proj: Linear
+    o_proj: Linear
+    mlp_norm: object
+    mlp: object
+
+
+class PagedTransformer:
+    """Decoder-only transformer executing over a paged KV storage.
+
+    Args:
+        config: model hyper-parameters (use the tiny presets for tests).
+        storage: slot-indexed K/V arrays shared with the cache manager.
+        seed: weight initialisation seed (deterministic).
+    """
+
+    def __init__(self, config: ModelConfig, storage: KVStorage, seed: int = 0) -> None:
+        if storage.config is not config and (
+            storage.config.num_layers != config.num_layers
+            or storage.config.num_kv_heads != config.num_kv_heads
+            or storage.config.head_dim != config.head_dim
+        ):
+            raise ValueError("storage shape does not match model config")
+        self.config = config
+        self.storage = storage
+        rng = np.random.default_rng(seed)
+        h = config.hidden_size
+        kv = config.kv_dim
+        self.embedding = rng.standard_normal((config.vocab_size, h)) * 0.02
+        if config.arch == "opt":
+            self.pos_embedding = rng.standard_normal((config.max_position, h)) * 0.02
+        else:
+            self.pos_embedding = None
+        self.layers: List[_LayerWeights] = []
+        with_bias = config.arch == "opt"
+        for _ in range(config.num_layers):
+            if config.arch == "opt":
+                attn_norm: object = LayerNorm.identity(h)
+                mlp_norm: object = LayerNorm.identity(h)
+                mlp: object = OptMlp.init(rng, h, config.intermediate_size)
+            else:
+                attn_norm = RMSNorm.identity(h)
+                mlp_norm = RMSNorm.identity(h)
+                mlp = SwiGluMlp.init(rng, h, config.intermediate_size)
+            self.layers.append(
+                _LayerWeights(
+                    attn_norm=attn_norm,
+                    q_proj=Linear.init(rng, h, h, with_bias=with_bias),
+                    k_proj=Linear.init(rng, h, kv, with_bias=with_bias),
+                    v_proj=Linear.init(rng, h, kv, with_bias=with_bias),
+                    o_proj=Linear.init(rng, h, h, with_bias=with_bias),
+                    mlp_norm=mlp_norm,
+                    mlp=mlp,
+                )
+            )
+        self.final_norm = (
+            LayerNorm.identity(h) if config.arch == "opt" else RMSNorm.identity(h)
+        )
+        self.lm_head = self.embedding.T  # weight tying
+
+    # ------------------------------------------------------------------
+
+    def forward(self, batch: Sequence[ForwardRequest]) -> List[np.ndarray]:
+        """Run one batched iteration.
+
+        Writes the new tokens' K/V into the paged storage (Figure 8 step c)
+        and returns, per request, the ``[n_new, vocab]`` logits of its input
+        tokens (callers typically sample from the last row).
+        """
+        if not batch:
+            return []
+        cfg = self.config
+        # Unified batch formation (§4.4.1): concatenate all requests'
+        # input tokens into one token-major activation tensor.
+        hidden = [self._embed(r) for r in batch]
+        x = np.concatenate(hidden, axis=0)  # [sum_n, h]
+        bounds = np.cumsum([0] + [r.num_new_tokens for r in batch])
+
+        for layer_idx, w in enumerate(self.layers):
+            x = x + self._attention_block(layer_idx, w, x, batch, bounds)
+            x = x + w.mlp(w.mlp_norm(x))
+
+        x = self.final_norm(x)
+        logits = x @ self.lm_head
+        return [logits[bounds[i] : bounds[i + 1]] for i in range(len(batch))]
+
+    def next_token_logits(self, batch: Sequence[ForwardRequest]) -> List[np.ndarray]:
+        """Logits for the *last* input token of each request (the row used
+        to predict the next token)."""
+        return [logits[-1] for logits in self.forward(batch)]
+
+    def greedy_token(self, logits: np.ndarray) -> int:
+        """Deterministic argmax sampling."""
+        return int(np.argmax(logits))
+
+    # ------------------------------------------------------------------
+
+    def _embed(self, request: ForwardRequest) -> np.ndarray:
+        x = self.embedding[request.input_ids]
+        if self.pos_embedding is not None:
+            x = x + self.pos_embedding[request.positions]
+        return x
+
+    def _attention_block(
+        self,
+        layer_idx: int,
+        w: _LayerWeights,
+        x: np.ndarray,
+        batch: Sequence[ForwardRequest],
+        bounds: np.ndarray,
+    ) -> np.ndarray:
+        cfg = self.config
+        normed = w.attn_norm(x)
+        q = w.q_proj(normed).reshape(-1, cfg.num_heads, cfg.head_dim)
+        k = w.k_proj(normed).reshape(-1, cfg.num_kv_heads, cfg.head_dim)
+        v = w.v_proj(normed).reshape(-1, cfg.num_kv_heads, cfg.head_dim)
+
+        outputs = np.empty_like(q)
+        kernel_requests = []
+        owners: List[slice] = []
+        for i, request in enumerate(batch):
+            lo, hi = int(bounds[i]), int(bounds[i + 1])
+            q_i, k_i, v_i = q[lo:hi], k[lo:hi], v[lo:hi]
+            if cfg.arch == "llama":
+                q_i = apply_rope(q_i, request.positions)
+                k_i = apply_rope(k_i, request.positions)
+            # Figure 8 step (c): store the new tokens' K/V.
+            self.storage.write(layer_idx, request.write_slots(), k_i, v_i)
+            subs = split_disjoint_query(
+                q_i,
+                list(request.context_slots),
+                request.dropped,
+                shared_prefix=request.shared_prefix,
+            )
+            start = lo
+            for sub in subs:
+                kernel_requests.append(sub)
+                owners.append(slice(start, start + sub.num_query_tokens))
+                start += sub.num_query_tokens
+
+        sub_outputs = multi_token_attention(
+            kernel_requests, self.storage.k[layer_idx], self.storage.v[layer_idx]
+        )
+        for region, out in zip(owners, sub_outputs):
+            outputs[region] = out
+        return w.o_proj(outputs.reshape(x.shape[0], -1))

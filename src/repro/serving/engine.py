@@ -1,0 +1,182 @@
+"""Engine base class: the shared iteration-level serving loop.
+
+An engine is driven by the discrete-event loop: request submissions arrive
+as events, each model iteration is simulated by scheduling a completion
+event ``iteration_time`` in the future, and the scheduler re-forms the
+batch at every completion ("clocked for action by the completion of a
+generation step", §4.2).
+
+Subclasses implement three hooks:
+
+- :meth:`_form_batch` — pick the requests (and admission work) for the
+  next iteration;
+- :meth:`_execute` — return the iteration's simulated duration;
+- :meth:`_advance` — apply per-request progress when the iteration
+  completes (token generated, prefill finished, ...).
+
+plus the cache-lifecycle hooks :meth:`_on_admit` / :meth:`_on_finish`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, List, Optional, Sequence
+
+from repro.gpu.costmodel import CostModel
+from repro.serving.batching import BatchConfig
+from repro.serving.metrics import MetricsCollector
+from repro.serving.request import Request, RequestState
+from repro.sim.events import EventLoop
+from repro.sim.trace import TraceRecorder
+
+
+class EngineBase:
+    """Shared mechanics of an iteration-level serving engine.
+
+    Args:
+        name: engine label used in experiment tables.
+        loop: the discrete-event loop driving the simulation.
+        cost_model: converts batch shapes to iteration durations.
+        config: batching/admission thresholds.
+        keep_trace: retain full trace events (disable for large sweeps).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        loop: EventLoop,
+        cost_model: CostModel,
+        config: Optional[BatchConfig] = None,
+        keep_trace: bool = False,
+    ) -> None:
+        self.name = name
+        self.loop = loop
+        self.cost_model = cost_model
+        self.config = config or BatchConfig()
+        self.wait_queue: Deque[Request] = deque()
+        self.running: List[Request] = []
+        self.metrics = MetricsCollector()
+        self.trace = TraceRecorder(keep_events=keep_trace)
+        #: Called as ``on_finish(request, now)`` when a request completes;
+        #: the workload driver uses it to schedule the next turn.
+        self.on_finish: Optional[Callable[[Request, float], None]] = None
+        self._busy = False
+        self._iterations = 0
+
+    # ------------------------------------------------------------------
+    # Public interface
+    # ------------------------------------------------------------------
+
+    def submit(self, request: Request) -> None:
+        """Enqueue a request at the current simulated time."""
+        request.state = RequestState.WAITING
+        self.wait_queue.append(request)
+        self.trace.record(self.loop.now, "submit", request_id=request.request_id)
+        self._kick()
+
+    @property
+    def iterations(self) -> int:
+        """Model iterations executed so far."""
+        return self._iterations
+
+    @property
+    def num_running(self) -> int:
+        return len(self.running)
+
+    @property
+    def num_waiting(self) -> int:
+        return len(self.wait_queue)
+
+    # ------------------------------------------------------------------
+    # The serving loop
+    # ------------------------------------------------------------------
+
+    def _kick(self) -> None:
+        """Start an iteration if the engine is idle and has work."""
+        if self._busy:
+            return
+        if not self.running and not self.wait_queue:
+            return
+        self._busy = True
+        self.loop.schedule(self.loop.now, self._iterate)
+
+    def _iterate(self) -> None:
+        batch = self._form_batch(self.loop.now)
+        if not batch:
+            # Admission may be blocked transiently (e.g. waiting for an
+            # ahead-of-time copy to land).  Engines that can say when to
+            # retry stay "busy" and poll; otherwise the engine idles until
+            # the next submission.
+            retry = (
+                self._idle_retry_delay(self.loop.now) if self.wait_queue else None
+            )
+            if retry is not None and retry > 0:
+                self.loop.schedule_after(retry, self._iterate)
+                return
+            self._busy = False
+            return
+        duration = self._execute(batch, self.loop.now)
+        self._iterations += 1
+        self.trace.record(
+            self.loop.now,
+            "iteration",
+            batch_size=len(batch),
+            duration=duration,
+        )
+        self.loop.schedule_after(duration, self._complete, batch)
+
+    def _complete(self, batch: Sequence[Request]) -> None:
+        now = self.loop.now
+        finished: List[Request] = []
+        for request in batch:
+            if request.state is not RequestState.RUNNING:
+                continue  # suspended mid-flight
+            self._advance(request, now)
+            if request.generated_tokens >= request.output_tokens:
+                finished.append(request)
+        for request in finished:
+            request.state = RequestState.FINISHED
+            request.finish_time = now
+            self.running.remove(request)
+            self._on_finish(request, now)
+            self.metrics.complete(request)
+            self.trace.record(now, "finish", request_id=request.request_id)
+            if self.on_finish is not None:
+                self.on_finish(request, now)
+        if self.running or self.wait_queue:
+            self.loop.schedule(now, self._iterate)
+        else:
+            self._busy = False
+
+    # ------------------------------------------------------------------
+    # Hooks
+    # ------------------------------------------------------------------
+
+    def _form_batch(self, now: float) -> List[Request]:
+        """Select the requests for the next iteration."""
+        raise NotImplementedError
+
+    def _idle_retry_delay(self, now: float) -> Optional[float]:
+        """Seconds after which a blocked, otherwise-idle engine should
+        retry batch formation; ``None`` (default) idles until the next
+        submission."""
+        return None
+
+    def _execute(self, batch: Sequence[Request], now: float) -> float:
+        """Return the simulated duration of one iteration over ``batch``."""
+        raise NotImplementedError
+
+    def _advance(self, request: Request, now: float) -> None:
+        """Apply one iteration's progress to a running request.
+
+        Default: the iteration produced one output token (the prefill
+        iteration produces the first).
+        """
+        request.generated_tokens += 1
+        if not request.prefill_done:
+            request.prefill_done = True
+            request.first_token_time = now
+
+    def _on_finish(self, request: Request, now: float) -> None:
+        """Release or retain the request's cache state."""
+        raise NotImplementedError

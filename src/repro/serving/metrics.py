@@ -1,0 +1,153 @@
+"""Serving performance metrics.
+
+Following the paper (§6.1): *serving throughput* (completed requests per
+second) and *normalized latency* (end-to-end request latency divided by the
+number of output tokens), reported as the mean (Figure 10 caption) and the
+90th percentile (the "Performance Metric" paragraph).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.serving.request import Request
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """Immutable completion record of one request."""
+
+    request_id: int
+    conv_id: int
+    turn_index: int
+    arrival_time: float
+    finish_time: float
+    first_token_time: float
+    prompt_tokens: int
+    history_tokens: int
+    output_tokens: int
+    prefilled_tokens: int
+
+    @property
+    def latency(self) -> float:
+        return self.finish_time - self.arrival_time
+
+    @property
+    def normalized_latency(self) -> float:
+        return self.latency / self.output_tokens
+
+    @property
+    def ttft(self) -> float:
+        """Time to first token."""
+        return self.first_token_time - self.arrival_time
+
+
+@dataclass(frozen=True)
+class ServingStats:
+    """Aggregate statistics over a measurement window."""
+
+    num_requests: int
+    duration: float
+    throughput_rps: float
+    token_throughput: float
+    mean_normalized_latency: float
+    p50_normalized_latency: float
+    p90_normalized_latency: float
+    p99_normalized_latency: float
+    mean_ttft: float
+    mean_latency: float
+    total_prefilled_tokens: int
+    total_output_tokens: int
+
+    def as_dict(self) -> dict:
+        return {
+            "num_requests": self.num_requests,
+            "duration_s": round(self.duration, 3),
+            "throughput_rps": round(self.throughput_rps, 4),
+            "token_throughput": round(self.token_throughput, 1),
+            "mean_norm_latency_ms": round(self.mean_normalized_latency * 1e3, 2),
+            "p50_norm_latency_ms": round(self.p50_normalized_latency * 1e3, 2),
+            "p90_norm_latency_ms": round(self.p90_normalized_latency * 1e3, 2),
+            "p99_norm_latency_ms": round(self.p99_normalized_latency * 1e3, 2),
+            "mean_ttft_ms": round(self.mean_ttft * 1e3, 2),
+            "prefilled_tokens": self.total_prefilled_tokens,
+        }
+
+
+class MetricsCollector:
+    """Accumulates per-request completion records and aggregates them."""
+
+    def __init__(self) -> None:
+        self._records: List[RequestRecord] = []
+
+    def complete(self, request: Request) -> RequestRecord:
+        """Record a finished request.
+
+        Raises:
+            RuntimeError: if the request lacks finish/first-token stamps.
+        """
+        if request.finish_time is None or request.first_token_time is None:
+            raise RuntimeError(f"request {request.request_id} is incomplete")
+        record = RequestRecord(
+            request_id=request.request_id,
+            conv_id=request.conv_id,
+            turn_index=request.turn_index,
+            arrival_time=request.arrival_time,
+            finish_time=request.finish_time,
+            first_token_time=request.first_token_time,
+            prompt_tokens=request.prompt_tokens,
+            history_tokens=request.history_tokens,
+            output_tokens=request.output_tokens,
+            prefilled_tokens=request.prefill_tokens,
+        )
+        self._records.append(record)
+        return record
+
+    @property
+    def records(self) -> List[RequestRecord]:
+        return list(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def stats(
+        self,
+        warmup: float = 0.0,
+        until: Optional[float] = None,
+    ) -> ServingStats:
+        """Aggregate over requests finishing in ``(warmup, until]``.
+
+        Raises:
+            ValueError: if the window contains no requests.
+        """
+        window = [
+            r
+            for r in self._records
+            if r.finish_time > warmup and (until is None or r.finish_time <= until)
+        ]
+        if not window:
+            raise ValueError("no completed requests in the measurement window")
+        finishes = [r.finish_time for r in window]
+        start = warmup if warmup > 0 else min(r.arrival_time for r in window)
+        duration = max(finishes) - start
+        if duration <= 0:
+            duration = max(finishes) or 1.0
+        norm = np.array([r.normalized_latency for r in window])
+        output_tokens = sum(r.output_tokens for r in window)
+        return ServingStats(
+            num_requests=len(window),
+            duration=duration,
+            throughput_rps=len(window) / duration,
+            token_throughput=output_tokens / duration,
+            mean_normalized_latency=float(norm.mean()),
+            p50_normalized_latency=float(np.percentile(norm, 50)),
+            p90_normalized_latency=float(np.percentile(norm, 90)),
+            p99_normalized_latency=float(np.percentile(norm, 99)),
+            mean_ttft=float(np.mean([r.ttft for r in window])),
+            mean_latency=float(np.mean([r.latency for r in window])),
+            total_prefilled_tokens=sum(r.prefilled_tokens for r in window),
+            total_output_tokens=output_tokens,
+        )

@@ -1,0 +1,45 @@
+"""Simulated wall-clock time.
+
+All times in the simulation are expressed in *seconds* as floats.  The clock
+is owned by the :class:`repro.sim.events.EventLoop` and only advances when
+the loop dispatches an event; user code must never set it backwards.
+"""
+
+from __future__ import annotations
+
+
+class Clock:
+    """A monotonically non-decreasing simulated clock.
+
+    The clock starts at ``0.0`` seconds.  It is advanced exclusively through
+    :meth:`advance_to`, which enforces monotonicity so that causality bugs in
+    the event loop surface immediately instead of silently corrupting
+    latency measurements.
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0.0:
+            raise ValueError(f"clock cannot start at negative time {start!r}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance_to(self, time: float) -> None:
+        """Advance the clock to ``time``.
+
+        Raises:
+            ValueError: if ``time`` is earlier than the current time.
+        """
+        if time < self._now:
+            raise ValueError(
+                f"clock cannot move backwards: now={self._now!r}, target={time!r}"
+            )
+        self._now = float(time)
+
+    def __repr__(self) -> str:
+        return f"Clock(now={self._now:.6f})"

@@ -1,0 +1,146 @@
+"""Priority-queue event loop for discrete-event simulation.
+
+The loop dispatches callbacks in timestamp order; ties are broken by
+insertion order so that a sequence of events scheduled for the same instant
+runs in FIFO order, which keeps scheduler behaviour deterministic.
+
+Typical usage::
+
+    loop = EventLoop()
+    loop.schedule(1.5, handle_arrival, request)
+    loop.run()          # runs until the queue drains
+    print(loop.now)     # 1.5
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.sim.clock import Clock
+
+
+class SimulationError(RuntimeError):
+    """Raised when the event loop is used incorrectly."""
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events sort by ``(time, seq)``.  ``seq`` is a monotonically increasing
+    insertion counter, giving same-time events FIFO semantics.
+    """
+
+    time: float
+    seq: int
+    callback: Callable[..., None] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the loop skips it when popped."""
+        self.cancelled = True
+
+
+class EventLoop:
+    """A deterministic discrete-event loop.
+
+    The loop owns a :class:`~repro.sim.clock.Clock`.  Callbacks may schedule
+    further events (at or after the current time).  ``run`` processes events
+    until the queue is empty or an optional horizon is reached.
+    """
+
+    def __init__(self) -> None:
+        self._clock = Clock()
+        self._queue: list[Event] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._dispatched = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._clock.now
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-cancelled events still queued."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    @property
+    def dispatched(self) -> int:
+        """Total number of events dispatched so far."""
+        return self._dispatched
+
+    def schedule(
+        self, time: float, callback: Callable[..., None], *args: Any
+    ) -> Event:
+        """Schedule ``callback(*args)`` to run at absolute ``time``.
+
+        Raises:
+            SimulationError: if ``time`` is in the simulated past.
+        """
+        if time < self._clock.now:
+            raise SimulationError(
+                f"cannot schedule event at {time!r} before now={self._clock.now!r}"
+            )
+        event = Event(time=float(time), seq=next(self._seq), callback=callback, args=args)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_after(
+        self, delay: float, callback: Callable[..., None], *args: Any
+    ) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0.0:
+            raise SimulationError(f"delay must be non-negative, got {delay!r}")
+        return self.schedule(self._clock.now + delay, callback, *args)
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Dispatch queued events in order.
+
+        Args:
+            until: stop once the next event would occur strictly after this
+                time.  The clock is advanced to ``until`` when it is reached.
+            max_events: safety valve; raise if more events dispatch.
+
+        Returns:
+            The number of events dispatched by this call.
+
+        Raises:
+            SimulationError: on re-entrant ``run`` or when ``max_events`` is
+                exceeded (which almost always indicates a scheduling loop).
+        """
+        if self._running:
+            raise SimulationError("EventLoop.run is not re-entrant")
+        self._running = True
+        dispatched = 0
+        try:
+            while self._queue:
+                event = self._queue[0]
+                if event.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._queue)
+                self._clock.advance_to(event.time)
+                event.callback(*event.args)
+                dispatched += 1
+                self._dispatched += 1
+                if max_events is not None and dispatched > max_events:
+                    raise SimulationError(
+                        f"dispatched more than max_events={max_events} events; "
+                        "likely a scheduling loop"
+                    )
+            if until is not None and self._clock.now < until:
+                self._clock.advance_to(until)
+        finally:
+            self._running = False
+        return dispatched
+
+    def __repr__(self) -> str:
+        return f"EventLoop(now={self.now:.6f}, pending={self.pending})"

@@ -1,0 +1,85 @@
+"""Structured trace recording for simulation runs.
+
+Engines emit :class:`TraceEvent` records (batch launches, swaps, evictions,
+suspensions) into a :class:`TraceRecorder`.  Experiments use the trace to
+compute derived statistics such as cache hit rates and recomputed-token
+counts (Figure 14 of the paper).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """A single timestamped trace record.
+
+    Attributes:
+        time: simulated time in seconds at which the event occurred.
+        kind: short machine-readable category, e.g. ``"batch"``, ``"swap_in"``.
+        data: free-form payload describing the event.
+    """
+
+    time: float
+    kind: str
+    data: Dict[str, Any] = field(default_factory=dict)
+
+
+class TraceRecorder:
+    """Accumulates trace events and answers simple aggregate queries.
+
+    Recording can be disabled (the default for large sweeps) in which case
+    :meth:`record` is a no-op, but counters are still maintained so cheap
+    aggregates remain available.
+    """
+
+    def __init__(self, keep_events: bool = True) -> None:
+        self._keep_events = keep_events
+        self._events: List[TraceEvent] = []
+        self._counts: Counter = Counter()
+        self._sums: Counter = Counter()
+
+    def record(self, time: float, kind: str, **data: Any) -> None:
+        """Record one event of ``kind`` at ``time`` with payload ``data``.
+
+        Numeric payload values are accumulated into per-``(kind, key)`` sums
+        so aggregates survive even when full event storage is disabled.
+        """
+        self._counts[kind] += 1
+        for key, value in data.items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                self._sums[f"{kind}.{key}"] += value
+        if self._keep_events:
+            self._events.append(TraceEvent(time=time, kind=kind, data=dict(data)))
+
+    def count(self, kind: str) -> int:
+        """Number of recorded events of ``kind``."""
+        return self._counts[kind]
+
+    def total(self, kind: str, key: str) -> float:
+        """Sum of the numeric payload ``key`` across all events of ``kind``."""
+        return self._sums[f"{kind}.{key}"]
+
+    def events(self, kind: Optional[str] = None) -> Iterator[TraceEvent]:
+        """Iterate stored events, optionally filtered by ``kind``."""
+        if not self._keep_events and (self._counts and not self._events):
+            raise RuntimeError("event storage was disabled for this recorder")
+        for event in self._events:
+            if kind is None or event.kind == kind:
+                yield event
+
+    def clear(self) -> None:
+        """Drop all recorded events and counters."""
+        self._events.clear()
+        self._counts.clear()
+        self._sums.clear()
+
+    def __len__(self) -> int:
+        return sum(self._counts.values())
+
+    def __repr__(self) -> str:
+        kinds = ", ".join(f"{k}={v}" for k, v in sorted(self._counts.items()))
+        return f"TraceRecorder({kinds})"

@@ -1,0 +1,58 @@
+"""A minimal deterministic tokenizer for the functional examples.
+
+Whitespace/punctuation word-level tokenisation with an incrementally built
+vocabulary.  Good enough to drive the numpy transformer on real text in
+the examples; not intended to approximate BPE quality.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List
+
+_TOKEN_RE = re.compile(r"\w+|[^\w\s]")
+
+
+class SimpleTokenizer:
+    """Word-level tokenizer with a growable vocabulary.
+
+    Ids 0..3 are reserved: ``<pad>``, ``<bos>``, ``<eos>``, ``<unk>``.
+    When the vocabulary is full, unknown words map to ``<unk>``.
+    """
+
+    PAD, BOS, EOS, UNK = 0, 1, 2, 3
+
+    def __init__(self, vocab_size: int = 4096) -> None:
+        if vocab_size < 8:
+            raise ValueError("vocab_size must be at least 8")
+        self.vocab_size = vocab_size
+        self._word_to_id: Dict[str, int] = {}
+        self._id_to_word: List[str] = ["<pad>", "<bos>", "<eos>", "<unk>"]
+
+    def encode(self, text: str) -> List[int]:
+        """Tokenise ``text`` to a list of ids, growing the vocabulary."""
+        ids = []
+        for word in _TOKEN_RE.findall(text.lower()):
+            token_id = self._word_to_id.get(word)
+            if token_id is None:
+                if len(self._id_to_word) < self.vocab_size:
+                    token_id = len(self._id_to_word)
+                    self._word_to_id[word] = token_id
+                    self._id_to_word.append(word)
+                else:
+                    token_id = self.UNK
+            ids.append(token_id)
+        return ids
+
+    def decode(self, ids: List[int]) -> str:
+        """Best-effort inverse of :meth:`encode`."""
+        words = []
+        for token_id in ids:
+            if 0 <= token_id < len(self._id_to_word):
+                words.append(self._id_to_word[token_id])
+            else:
+                words.append("<unk>")
+        return " ".join(words)
+
+    def __len__(self) -> int:
+        return len(self._id_to_word)

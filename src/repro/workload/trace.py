@@ -1,0 +1,95 @@
+"""Workload trace files: save and replay conversation scripts.
+
+A *trace* is the full specification of a timed workload — every
+conversation's turn sizes, start time and think times — serialised as
+JSON.  Traces make cross-system comparisons airtight (every engine replays
+byte-identical inputs) and let users capture a generated workload once and
+re-use it across machines or repository versions.
+
+Format (version 1)::
+
+    {
+      "version": 1,
+      "meta": {...free-form...},
+      "conversations": [
+        {"conv_id": 0, "start_time": 1.5, "think_times": [42.0, 7.7],
+         "turns": [[37, 210], [12, 98], [40, 51]]},
+        ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.serving.request import Conversation, Turn
+
+TRACE_VERSION = 1
+
+
+def conversations_to_dict(
+    conversations: Sequence[Conversation],
+    meta: Optional[Dict] = None,
+) -> Dict:
+    """Serialise a workload to the trace dictionary form."""
+    return {
+        "version": TRACE_VERSION,
+        "meta": dict(meta or {}),
+        "conversations": [
+            {
+                "conv_id": c.conv_id,
+                "start_time": c.start_time,
+                "think_times": list(c.think_times),
+                "turns": [[t.prompt_tokens, t.output_tokens] for t in c.turns],
+            }
+            for c in conversations
+        ],
+    }
+
+
+def conversations_from_dict(data: Dict) -> List[Conversation]:
+    """Deserialise a trace dictionary back into conversation scripts.
+
+    Raises:
+        ValueError: on version mismatch or malformed records.
+    """
+    version = data.get("version")
+    if version != TRACE_VERSION:
+        raise ValueError(
+            f"unsupported trace version {version!r} (expected {TRACE_VERSION})"
+        )
+    conversations: List[Conversation] = []
+    for record in data.get("conversations", []):
+        try:
+            turns = [
+                Turn(prompt_tokens=int(p), output_tokens=int(o))
+                for p, o in record["turns"]
+            ]
+            conversation = Conversation(
+                conv_id=int(record["conv_id"]),
+                turns=turns,
+                start_time=float(record["start_time"]),
+                think_times=[float(t) for t in record["think_times"]],
+            )
+        except (KeyError, TypeError) as exc:
+            raise ValueError(f"malformed conversation record: {record!r}") from exc
+        conversations.append(conversation)
+    return conversations
+
+
+def save_trace(
+    conversations: Sequence[Conversation],
+    path: Union[str, Path],
+    meta: Optional[Dict] = None,
+) -> None:
+    """Write a workload trace as JSON."""
+    payload = conversations_to_dict(conversations, meta=meta)
+    Path(path).write_text(json.dumps(payload, indent=1))
+
+
+def load_trace(path: Union[str, Path]) -> List[Conversation]:
+    """Load a workload trace written by :func:`save_trace`."""
+    return conversations_from_dict(json.loads(Path(path).read_text()))

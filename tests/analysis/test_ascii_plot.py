@@ -1,0 +1,65 @@
+"""Tests for the ASCII plotting canvas."""
+
+import pytest
+
+from repro.analysis.ascii_plot import AsciiCanvas, plot_curves
+from repro.experiments.common import RatePoint
+
+
+class TestCanvas:
+    def test_renders_points_and_axes(self):
+        canvas = AsciiCanvas(width=20, height=6)
+        canvas.add_series("a", [(0, 0), (1, 1)])
+        text = canvas.render(title="T", x_label="x", y_label="y")
+        assert "T" in text
+        assert "*" in text
+        assert "*=a" in text
+        assert "x: x" in text
+
+    def test_multiple_series_get_distinct_glyphs(self):
+        canvas = AsciiCanvas(width=20, height=6)
+        canvas.add_series("a", [(0, 0), (1, 1)])
+        canvas.add_series("b", [(0, 1), (1, 0)])
+        text = canvas.render()
+        assert "*=a" in text and "o=b" in text
+
+    def test_explicit_glyph(self):
+        canvas = AsciiCanvas(width=20, height=6)
+        canvas.add_series("a", [(0, 0)], glyph="Q")
+        assert "Q=a" in canvas.render()
+
+    def test_degenerate_ranges_handled(self):
+        canvas = AsciiCanvas(width=20, height=6)
+        canvas.add_series("flat", [(1, 5), (2, 5), (3, 5)])
+        assert canvas.render()  # no ZeroDivisionError
+
+    def test_corner_points_land_on_extremes(self):
+        canvas = AsciiCanvas(width=21, height=7)
+        canvas.add_series("a", [(0, 0), (10, 10)])
+        rows = canvas.render().split("\n")
+        data_rows = [r for r in rows if "|" in r]
+        assert data_rows[0].rstrip().endswith("*")   # top-right
+        assert data_rows[-1].split("|")[1][0] == "*"  # bottom-left
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AsciiCanvas(width=5, height=2)
+        canvas = AsciiCanvas(width=20, height=6)
+        with pytest.raises(ValueError):
+            canvas.add_series("empty", [])
+        with pytest.raises(ValueError):
+            canvas.render()
+
+
+class TestPlotCurves:
+    def test_rate_points(self):
+        def pt(rate, thr, lat):
+            return RatePoint(rate, thr, lat, lat * 1.4, 10, {})
+
+        curves = {
+            "vLLM": [pt(1, 1.0, 0.03), pt(4, 3.0, 0.3)],
+            "Pensieve": [pt(1, 1.0, 0.028), pt(4, 3.8, 0.1)],
+        }
+        text = plot_curves(curves, title="Figure 10")
+        assert "Figure 10" in text
+        assert "*=vLLM" in text and "o=Pensieve" in text

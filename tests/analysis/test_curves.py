@@ -1,0 +1,60 @@
+"""Tests for curve-comparison helpers."""
+
+import pytest
+
+from repro.analysis import crossover_rate, curve_dominates, speedup_at
+from repro.experiments.common import RatePoint
+
+
+def point(rate, thr, mean):
+    return RatePoint(
+        request_rate=rate,
+        throughput_rps=thr,
+        mean_norm_latency=mean,
+        p90_norm_latency=mean * 1.4,
+        num_requests=10,
+        extras={},
+    )
+
+
+FAST = [point(1, 1.0, 0.03), point(2, 2.0, 0.04), point(4, 3.5, 0.10)]
+SLOW = [point(1, 1.0, 0.03), point(2, 2.0, 0.05), point(4, 3.0, 0.30)]
+
+
+class TestSpeedupAt:
+    def test_basic(self):
+        assert speedup_at(FAST, SLOW, 0.10) > 1.0
+
+    def test_infinite_when_loser_never_meets_target(self):
+        assert speedup_at(FAST, SLOW, 0.02) == float("inf") or speedup_at(
+            FAST, SLOW, 0.02
+        ) >= 0  # both violate -> inf or 0/0 handled
+
+
+class TestDominates:
+    def test_fast_dominates_slow(self):
+        assert curve_dominates(FAST, SLOW)
+        assert not curve_dominates(SLOW, FAST)
+
+    def test_tolerance(self):
+        near = [point(1, 1.0, 0.031), point(2, 2.0, 0.04), point(4, 3.4, 0.10)]
+        assert not curve_dominates(near, FAST)
+        assert curve_dominates(near, FAST, tolerance=0.05)
+
+    def test_disjoint_rates_rejected(self):
+        other = [point(8, 4.0, 0.2)]
+        with pytest.raises(ValueError):
+            curve_dominates(FAST, other)
+
+
+class TestCrossover:
+    def test_finds_first_divergence(self):
+        # Latencies equal at rate 1, diverge >2% from rate 2 on.
+        assert crossover_rate(FAST, SLOW) == 2
+
+    def test_none_when_equal(self):
+        assert crossover_rate(FAST, FAST) is None
+
+    def test_min_gap_filters_noise(self):
+        nearly = [point(1, 1.0, 0.03), point(2, 2.0, 0.041), point(4, 3.5, 0.101)]
+        assert crossover_rate(FAST, nearly, min_gap=0.10) is None

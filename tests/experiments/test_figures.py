@@ -1,0 +1,97 @@
+"""Smoke + shape tests for the per-figure experiment modules.
+
+Full-scale assertions live in ``benchmarks/``; here each module is run at
+reduced scale to pin its structure (row schemas, orderings, formatting).
+"""
+
+import pytest
+
+from repro.experiments import fig03, fig04, fig12, tab02
+from repro.model import OPT_13B
+
+
+class TestFig03:
+    def test_rows_and_monotonicity(self):
+        rows = fig03.run_fig03(history_sizes=(0, 1024, 4096))
+        assert [r["history_tokens"] for r in rows] == [0, 1024, 4096]
+        stateless = [r["prefill_with_history_s"] for r in rows]
+        stateful = [r["prefill_prompt_only_s"] for r in rows]
+        assert stateless == sorted(stateless)
+        # Stateful prefill barely grows (only attention to longer cache).
+        assert stateful[-1] < stateless[-1]
+
+    def test_crossover_exists(self):
+        rows = fig03.run_fig03()
+        assert any(
+            r["prefill_with_history_s"] > r["generation_s"] for r in rows
+        )
+        assert rows[0]["prefill_with_history_s"] < rows[0]["generation_s"]
+
+    def test_format(self):
+        text = fig03.format_fig03(fig03.run_fig03(history_sizes=(0, 1024)))
+        assert "Figure 3" in text
+
+
+class TestFig04:
+    def test_normalized_growth_linear(self):
+        rows = fig04.run_fig04(context_sizes=(2048, 4096, 8192))
+        values = [r["normalized"] for r in rows]
+        growth1 = values[1] - values[0]
+        growth2 = values[2] - values[1]
+        assert growth2 == pytest.approx(2 * growth1, rel=0.2)
+
+    def test_crosses_one(self):
+        rows = fig04.run_fig04()
+        normalized = [r["normalized"] for r in rows]
+        assert normalized[0] < 1.0 < normalized[-1]
+
+    def test_format(self):
+        assert "Figure 4" in fig04.format_fig04(fig04.run_fig04())
+
+
+class TestFig12:
+    def test_cost_model_ordering(self):
+        rows = fig12.run_fig12(context_sizes=(1024, 8192))
+        for row in rows:
+            assert row["pensieve_s"] <= row["ideal_s"]
+            assert row["copyout_s"] > row["ideal_s"]
+            assert row["multiround_s"] > row["ideal_s"]
+
+    def test_copyout_gap_grows_with_context(self):
+        rows = fig12.run_fig12(context_sizes=(1024, 16384))
+        gap_small = rows[0]["copyout_s"] - rows[0]["ideal_s"]
+        gap_large = rows[1]["copyout_s"] - rows[1]["ideal_s"]
+        assert gap_large > 4 * gap_small
+
+    def test_measured_mode_runs_real_kernels(self):
+        rows = fig12.run_fig12_measured(
+            batch_size=2, query_tokens=4, context_sizes=(32, 64), repeats=1
+        )
+        assert len(rows) == 2
+        for row in rows:
+            assert row["pensieve_s"] > 0
+            assert row["multiround_s"] > 0
+
+    def test_format(self):
+        assert "Figure 12" in fig12.format_fig12(
+            fig12.run_fig12(context_sizes=(1024,))
+        )
+
+
+class TestTab02:
+    def test_measured_close_to_paper(self):
+        rows = tab02.run_tab02(num_conversations=2000, seed=1)
+        for row in rows:
+            assert row["mean_turns"] == pytest.approx(
+                row["paper_mean_turns"], rel=0.12
+            )
+            assert row["mean_input_len"] == pytest.approx(
+                row["paper_mean_input_len"], rel=0.12
+            )
+            assert row["mean_output_len"] == pytest.approx(
+                row["paper_mean_output_len"], rel=0.12
+            )
+            assert row["max_context"] <= 16384
+
+    def test_format(self):
+        assert "Table 2" in tab02.format_tab02(tab02.run_tab02(500))

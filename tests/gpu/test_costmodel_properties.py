@@ -1,0 +1,90 @@
+"""Property-based tests for the roofline cost model."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.gpu import A100_80GB, BatchShape, CostModel, KernelVariant
+from repro.model import LLAMA2_13B, OPT_13B
+
+MODELS = [OPT_13B, LLAMA2_13B]
+
+batch_items = st.lists(
+    st.tuples(st.integers(1, 64), st.integers(0, 4096)).map(
+        lambda t: (t[0], t[0] + t[1])  # context >= query
+    ),
+    min_size=1,
+    max_size=16,
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(items=batch_items, model=st.sampled_from(MODELS))
+def test_iteration_time_positive_and_finite(items, model):
+    cm = CostModel(model, A100_80GB)
+    shape = BatchShape.of(items)
+    t = cm.iteration_time(shape)
+    assert 0 < t < 3600
+
+
+@settings(max_examples=80, deadline=None)
+@given(items=batch_items, model=st.sampled_from(MODELS))
+def test_adding_a_request_never_speeds_up_the_iteration(items, model):
+    cm = CostModel(model, A100_80GB)
+    base = cm.iteration_time(BatchShape.of(items))
+    bigger = cm.iteration_time(BatchShape.of(items + [(8, 512)]))
+    assert bigger >= base
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    items=batch_items,
+    model=st.sampled_from(MODELS),
+    growth=st.integers(1, 2048),
+)
+def test_longer_context_never_cheaper(items, model, growth):
+    cm = CostModel(model, A100_80GB)
+    grown = [(q, c + growth) for q, c in items]
+    assert cm.attention_time(BatchShape.of(grown)) >= cm.attention_time(
+        BatchShape.of(items)
+    )
+
+
+@settings(max_examples=80, deadline=None)
+@given(items=batch_items, model=st.sampled_from(MODELS))
+def test_variant_ordering_holds_for_all_shapes(items, model):
+    """Pensieve <= ideal <= copyout, and multiround >= ideal, always."""
+    cm = CostModel(model, A100_80GB)
+    shape = BatchShape.of(items)
+    ideal = cm.attention_time(shape, KernelVariant.IDEAL_CONTIGUOUS)
+    pensieve = cm.attention_time(shape, KernelVariant.PENSIEVE_PAGED)
+    copyout = cm.attention_time(shape, KernelVariant.COPYOUT)
+    multiround = cm.attention_time(shape, KernelVariant.MULTIROUND_PAGED)
+    assert pensieve <= ideal <= copyout
+    assert multiround >= ideal
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    compute=st.floats(min_value=1e-6, max_value=10.0),
+    transfer=st.floats(min_value=0.0, max_value=10.0),
+    layers=st.integers(1, 128),
+)
+def test_pipelined_time_bounds(compute, transfer, layers):
+    """Pipelining is never worse than serialization and never better than
+    the slower of the two stages."""
+    t = CostModel.pipelined_time(compute, transfer, layers)
+    assert t <= compute + transfer + 1e-12
+    assert t >= max(compute, transfer) - 1e-12
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    tokens=st.integers(1, 8192),
+    swap_bytes=st.floats(min_value=0, max_value=1e9),
+    model=st.sampled_from(MODELS),
+)
+def test_pipelined_swap_never_slower_than_blocking(tokens, swap_bytes, model):
+    cm = CostModel(model, A100_80GB)
+    shape = BatchShape.uniform(4, 1, tokens)
+    pipelined = cm.iteration_time(shape, swap_in_bytes=swap_bytes, pipelined=True)
+    blocking = cm.iteration_time(shape, swap_in_bytes=swap_bytes, pipelined=False)
+    assert pipelined <= blocking + 1e-12

@@ -1,0 +1,121 @@
+"""Tests for the PCIe transfer engine."""
+
+import pytest
+
+from repro.gpu import Direction, PcieEngine
+
+
+def make_engine(**kwargs):
+    defaults = dict(
+        bandwidth=1e9, duplex_penalty=0.8, prioritize_retrieval=True, min_latency=0.0
+    )
+    defaults.update(kwargs)
+    return PcieEngine(**defaults)
+
+
+class TestBasics:
+    def test_duration_is_bytes_over_bandwidth(self):
+        eng = make_engine()
+        rec = eng.swap_in(0.0, 1e9)
+        assert rec.duration == pytest.approx(1.0)
+        assert rec.start_time == 0.0
+
+    def test_zero_bytes_is_instant(self):
+        eng = make_engine()
+        rec = eng.swap_in(0.0, 0)
+        assert rec.duration == 0.0
+
+    def test_min_latency_added(self):
+        eng = make_engine(min_latency=1e-3)
+        rec = eng.swap_in(0.0, 1e6)
+        assert rec.duration == pytest.approx(1e-3 + 1e-3)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            make_engine().swap_in(0.0, -5)
+
+    def test_invalid_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            PcieEngine(bandwidth=0)
+
+    def test_invalid_penalty_rejected(self):
+        with pytest.raises(ValueError):
+            PcieEngine(bandwidth=1e9, duplex_penalty=1.5)
+
+
+class TestSerialization:
+    def test_same_direction_transfers_queue(self):
+        eng = make_engine()
+        first = eng.swap_in(0.0, 1e9)
+        second = eng.swap_in(0.0, 1e9)
+        assert second.start_time == pytest.approx(first.end_time)
+        assert second.queue_delay == pytest.approx(1.0)
+
+    def test_later_enqueue_after_drain_starts_immediately(self):
+        eng = make_engine()
+        eng.swap_in(0.0, 1e9)
+        rec = eng.swap_in(5.0, 1e9)
+        assert rec.start_time == 5.0
+
+
+class TestDuplexContention:
+    def test_overlapping_directions_slow_down(self):
+        eng = make_engine(prioritize_retrieval=False)
+        eng.swap_in(0.0, 2e9)  # H2D busy until t=2
+        rec = eng.swap_out(0.0, 1e9)  # overlaps -> 0.8 GB/s
+        assert rec.duration == pytest.approx(1.0 / 0.8)
+
+    def test_non_overlapping_full_speed(self):
+        eng = make_engine(prioritize_retrieval=False)
+        eng.swap_in(0.0, 1e9)
+        rec = eng.swap_out(2.0, 1e9)  # H2D drained at t=1
+        assert rec.duration == pytest.approx(1.0)
+
+
+class TestRetrievalPriority:
+    def test_eviction_waits_for_retrieval(self):
+        """§5 optimisation: swap-out defers to in-flight swap-in."""
+        eng = make_engine(prioritize_retrieval=True)
+        swap_in = eng.swap_in(0.0, 2e9)
+        rec = eng.swap_out(0.0, 1e9)
+        assert rec.start_time == pytest.approx(swap_in.end_time)
+        assert rec.duration == pytest.approx(1.0)  # no duplex penalty paid
+
+    def test_retrieval_never_waits_for_eviction(self):
+        eng = make_engine(prioritize_retrieval=True)
+        eng.swap_out(0.0, 2e9)
+        rec = eng.swap_in(0.0, 1e9)
+        assert rec.start_time == 0.0
+        # Swap-in pays the duplex penalty (eviction already in flight).
+        assert rec.duration == pytest.approx(1.0 / 0.8)
+
+    def test_disabled_priority_overlaps(self):
+        eng = make_engine(prioritize_retrieval=False)
+        eng.swap_in(0.0, 2e9)
+        rec = eng.swap_out(0.0, 1e9)
+        assert rec.start_time == 0.0
+
+
+class TestAccounting:
+    def test_bytes_moved_tracked_per_direction(self):
+        eng = make_engine()
+        eng.swap_in(0.0, 100)
+        eng.swap_in(0.0, 50)
+        eng.swap_out(0.0, 25)
+        assert eng.bytes_moved[Direction.H2D] == 150
+        assert eng.bytes_moved[Direction.D2H] == 25
+
+    def test_history_and_last(self):
+        eng = make_engine()
+        assert eng.last() is None
+        eng.swap_in(0.0, 100)
+        eng.swap_out(0.0, 200)
+        assert len(eng.history) == 2
+        assert eng.last().direction is Direction.D2H
+
+    def test_idle_at(self):
+        eng = make_engine()
+        assert eng.idle_at(0.0)
+        eng.swap_in(0.0, 1e9)
+        assert not eng.idle_at(0.5)
+        assert eng.idle_at(1.0)

@@ -1,0 +1,108 @@
+"""Tests for offline attention-cost profiling and interpolation."""
+
+import pytest
+
+from repro.gpu import A100_80GB, CostModel, OfflineProfiler
+from repro.gpu.profiler import AttentionCostProfile
+from repro.model import OPT_13B
+
+
+@pytest.fixture
+def profile():
+    cm = CostModel(OPT_13B, A100_80GB)
+    return OfflineProfiler.from_cost_model(cm).profile(chunk_size=32, max_context=16384)
+
+
+class TestProfiling:
+    def test_power_of_two_sizes(self, profile):
+        sizes = profile.context_sizes
+        assert sizes[0] == 32
+        assert sizes[-1] == 16384
+        for a, b in zip(sizes, sizes[1:]):
+            assert b == 2 * a
+
+    def test_costs_increase_with_context(self, profile):
+        assert list(profile.costs) == sorted(profile.costs)
+
+    def test_constant_cost_positive(self, profile):
+        assert profile.constant_cost > 0
+
+    def test_explicit_sizes_override(self):
+        cm = CostModel(OPT_13B, A100_80GB)
+        prof = OfflineProfiler.from_cost_model(cm).profile(
+            chunk_size=32, context_sizes=[100, 200, 400]
+        )
+        assert prof.context_sizes == (100, 200, 400)
+
+    def test_bad_chunk_size(self):
+        cm = CostModel(OPT_13B, A100_80GB)
+        with pytest.raises(ValueError):
+            OfflineProfiler.from_cost_model(cm).profile(chunk_size=0)
+
+    def test_too_few_points(self):
+        cm = CostModel(OPT_13B, A100_80GB)
+        with pytest.raises(ValueError):
+            OfflineProfiler.from_cost_model(cm).profile(chunk_size=32, max_context=32)
+
+
+class TestInterpolation:
+    def test_exact_at_profiled_points(self, profile):
+        for size, cost in zip(profile.context_sizes, profile.costs):
+            assert profile.attention_cost(size) == pytest.approx(cost)
+
+    def test_interpolates_between_points(self, profile):
+        mid = profile.attention_cost(3 * 1024)  # between 2048 and 4096
+        assert profile.attention_cost(2048) < mid < profile.attention_cost(4096)
+
+    def test_interpolation_close_to_true_cost(self, profile):
+        """For a piecewise-linear truth the interpolation is near-exact."""
+        cm = CostModel(OPT_13B, A100_80GB)
+        for ctx in (100, 777, 3000, 10000):
+            true = cm.attention_chunk_time(32, ctx)
+            est = profile.attention_cost(ctx)
+            assert est == pytest.approx(true, rel=0.25)
+
+    def test_extrapolates_beyond_range(self, profile):
+        beyond = profile.attention_cost(32768)
+        assert beyond > profile.attention_cost(16384)
+
+    def test_below_first_point_scales_to_zero(self, profile):
+        assert profile.attention_cost(0) == 0.0
+        assert 0 < profile.attention_cost(16) < profile.attention_cost(32)
+
+    def test_negative_context_rejected(self, profile):
+        with pytest.raises(ValueError):
+            profile.attention_cost(-1)
+
+    def test_recompute_cost_adds_constant(self, profile):
+        ctx = 4096
+        assert profile.recompute_cost(ctx) == pytest.approx(
+            profile.attention_cost(ctx) + profile.constant_cost
+        )
+
+
+class TestValidation:
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            AttentionCostProfile(32, (1, 2, 3), (0.1, 0.2), 0.01)
+
+    def test_unsorted_sizes(self):
+        with pytest.raises(ValueError):
+            AttentionCostProfile(32, (2, 1), (0.1, 0.2), 0.01)
+
+    def test_single_point_rejected(self):
+        with pytest.raises(ValueError):
+            AttentionCostProfile(32, (2,), (0.1,), 0.01)
+
+
+class TestMeasurementAgnostic:
+    def test_profiler_works_with_any_measure_function(self):
+        """The profiler must accept arbitrary measurement callables
+        (e.g. wall-clock timing of the numpy kernels)."""
+        profiler = OfflineProfiler(
+            measure_attention=lambda s, l: 0.001 * l + 0.01 * s,
+            measure_constant=lambda s: 0.05,
+        )
+        prof = profiler.profile(chunk_size=16, max_context=64)
+        assert prof.attention_cost(32) == pytest.approx(0.001 * 32 + 0.01 * 16)
+        assert prof.constant_cost == 0.05

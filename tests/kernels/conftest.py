@@ -1,0 +1,60 @@
+"""Shared helpers for kernel tests."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+import pytest
+
+from repro.kernels import AttentionRequest
+
+
+def scatter_context(
+    rng: np.random.Generator,
+    ctx: int,
+    kv_heads: int,
+    head_dim: int,
+    num_slots: int,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, List[int]]:
+    """Create logical K/V for a context and scatter it over a slot array.
+
+    Returns ``(k_logical, v_logical, k_cache, v_cache, slots)`` where the
+    cache arrays hold the logical rows at randomly chosen physical slots
+    (and garbage everywhere else, to catch out-of-bounds gathers).
+    """
+    assert num_slots >= ctx
+    k_logical = rng.standard_normal((ctx, kv_heads, head_dim))
+    v_logical = rng.standard_normal((ctx, kv_heads, head_dim))
+    # Garbage fill so reading a wrong slot corrupts the result loudly.
+    k_cache = rng.standard_normal((num_slots, kv_heads, head_dim)) * 100
+    v_cache = rng.standard_normal((num_slots, kv_heads, head_dim)) * 100
+    slots = list(rng.permutation(num_slots)[:ctx])
+    k_cache[slots] = k_logical
+    v_cache[slots] = v_logical
+    return k_logical, v_logical, k_cache, v_cache, slots
+
+
+def make_request(
+    rng: np.random.Generator,
+    q_len: int,
+    ctx: int,
+    num_heads: int = 4,
+    kv_heads: int = 4,
+    head_dim: int = 8,
+    num_slots: int = 0,
+    query_offset: int = -1,
+):
+    """Build one scattered AttentionRequest plus its logical K/V."""
+    num_slots = num_slots or ctx * 3
+    k_log, v_log, k_cache, v_cache, slots = scatter_context(
+        rng, ctx, kv_heads, head_dim, num_slots
+    )
+    query = rng.standard_normal((q_len, num_heads, head_dim))
+    request = AttentionRequest(query=query, slots=slots, query_offset=query_offset)
+    return request, k_log, v_log, k_cache, v_cache
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)

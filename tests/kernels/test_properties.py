@@ -1,0 +1,88 @@
+"""Property-based tests (hypothesis) for the attention kernels."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.kernels import (
+    AttentionRequest,
+    multi_token_attention,
+    reference_attention,
+)
+
+
+@st.composite
+def attention_case(draw):
+    """Random (query, logical K/V, scattered cache, slots) tuples."""
+    q_len = draw(st.integers(min_value=1, max_value=6))
+    extra_ctx = draw(st.integers(min_value=0, max_value=24))
+    ctx = q_len + extra_ctx
+    kv_heads = draw(st.sampled_from([1, 2, 3]))
+    group = draw(st.sampled_from([1, 2, 4]))
+    num_heads = kv_heads * group
+    head_dim = draw(st.sampled_from([1, 2, 4, 8]))
+    offset = draw(st.integers(min_value=0, max_value=ctx - q_len))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    num_slots = ctx + draw(st.integers(min_value=0, max_value=32))
+    k_log = rng.standard_normal((ctx, kv_heads, head_dim))
+    v_log = rng.standard_normal((ctx, kv_heads, head_dim))
+    k_cache = rng.standard_normal((num_slots, kv_heads, head_dim)) * 50
+    v_cache = rng.standard_normal((num_slots, kv_heads, head_dim)) * 50
+    slots = list(rng.permutation(num_slots)[:ctx])
+    k_cache[slots] = k_log
+    v_cache[slots] = v_log
+    query = rng.standard_normal((q_len, num_heads, head_dim))
+    tile = draw(st.sampled_from([1, 3, 16, 48]))
+    return query, k_log, v_log, k_cache, v_cache, slots, offset, tile
+
+
+@settings(max_examples=60, deadline=None)
+@given(case=attention_case())
+def test_paged_kernel_equals_reference(case):
+    """For any shape, scattering, offset and tile size, the multi-token
+    paged kernel reproduces the contiguous reference bit-for-bit (up to
+    float round-off)."""
+    query, k_log, v_log, k_cache, v_cache, slots, offset, tile = case
+    request = AttentionRequest(query=query, slots=slots, query_offset=offset)
+    out = multi_token_attention([request], k_cache, v_cache, tile=tile)[0]
+    expected = reference_attention(query, k_log, v_log, query_offset=offset)
+    np.testing.assert_allclose(out, expected, rtol=1e-8, atol=1e-8)
+
+
+@settings(max_examples=40, deadline=None)
+@given(case=attention_case())
+def test_outputs_are_convex_combinations_of_values(case):
+    """Attention outputs are convex combinations of V rows, so every output
+    coordinate lies within the min/max of the visible values."""
+    query, _, v_log, k_cache, v_cache, slots, offset, tile = case
+    request = AttentionRequest(query=query, slots=slots, query_offset=offset)
+    out = multi_token_attention([request], k_cache, v_cache, tile=tile)[0]
+    num_heads = query.shape[1]
+    group = num_heads // v_log.shape[1]
+    v_exp = np.repeat(v_log, group, axis=1)  # [ctx, H, d]
+    for i in range(request.num_query_tokens):
+        visible = v_exp[: offset + i + 1]  # [vis, H, d]
+        lo = visible.min(axis=0) - 1e-9
+        hi = visible.max(axis=0) + 1e-9
+        assert np.all(out[i] >= lo) and np.all(out[i] <= hi)
+
+
+@settings(max_examples=40, deadline=None)
+@given(case=attention_case(), perm_seed=st.integers(min_value=0, max_value=2**31 - 1))
+def test_physical_rescattering_invariance(case, perm_seed):
+    """Moving the KV rows to completely different physical slots (a
+    simulated swap-out/swap-in round trip) must leave the attention output
+    numerically identical — the kernel may depend only on logical order."""
+    query, k_log, v_log, k_cache, v_cache, slots, offset, tile = case
+    request = AttentionRequest(query=query, slots=slots, query_offset=offset)
+    out1 = multi_token_attention([request], k_cache, v_cache, tile=tile)[0]
+
+    rng = np.random.default_rng(perm_seed)
+    new_slots = list(rng.permutation(k_cache.shape[0])[: len(slots)])
+    k_cache2 = rng.standard_normal(k_cache.shape) * 50
+    v_cache2 = rng.standard_normal(v_cache.shape) * 50
+    k_cache2[new_slots] = k_log
+    v_cache2[new_slots] = v_log
+    moved = AttentionRequest(query=query, slots=new_slots, query_offset=offset)
+    out2 = multi_token_attention([moved], k_cache2, v_cache2, tile=tile)[0]
+    np.testing.assert_array_equal(out1, out2)

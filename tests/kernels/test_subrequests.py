@@ -1,0 +1,148 @@
+"""Tests for Figure 8(d) sub-request splitting (dropped-token recompute)."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import (
+    multi_token_attention,
+    reference_attention,
+    split_disjoint_query,
+)
+
+from tests.kernels.conftest import scatter_context
+
+
+def full_sequence_setup(rng, dropped, cached, new_prompt, kv_heads=2, heads=4, dim=8):
+    """Build a full logical sequence and its scattered cache."""
+    total = dropped + cached + new_prompt
+    k_log, v_log, k_cache, v_cache, slots = scatter_context(
+        rng, total, kv_heads, dim, total * 3
+    )
+    full_query = rng.standard_normal((total, heads, dim))
+    return k_log, v_log, k_cache, v_cache, slots, full_query
+
+
+class TestSplit:
+    def test_two_subrequests_produced(self, rng):
+        query = rng.standard_normal((10, 4, 8))
+        subs = split_disjoint_query(query, slots=list(range(30)), dropped=4)
+        assert len(subs) == 2
+        prefix, prompt = subs
+        assert prefix.num_query_tokens == 4
+        assert prefix.query_offset == 0
+        assert prefix.context_len == 4  # attends to itself only
+        assert prompt.num_query_tokens == 6
+        assert prompt.query_offset == 24
+        assert prompt.context_len == 30  # attends to everything
+
+    def test_zero_dropped_degenerates(self, rng):
+        query = rng.standard_normal((6, 4, 8))
+        subs = split_disjoint_query(query, slots=list(range(20)), dropped=0)
+        assert len(subs) == 1
+        assert subs[0].query_offset == 14
+
+    def test_all_dropped_no_new_prompt(self, rng):
+        query = rng.standard_normal((6, 4, 8))
+        subs = split_disjoint_query(query, slots=list(range(6)), dropped=6)
+        assert len(subs) == 1
+        assert subs[0].query_offset == 0
+
+    def test_validation(self, rng):
+        query = rng.standard_normal((6, 4, 8))
+        with pytest.raises(ValueError):
+            split_disjoint_query(query, slots=list(range(20)), dropped=-1)
+        with pytest.raises(ValueError):
+            split_disjoint_query(query, slots=list(range(20)), dropped=7)
+        with pytest.raises(ValueError):
+            split_disjoint_query(query, slots=list(range(4)), dropped=2)
+
+
+class TestEquivalence:
+    """The paper's core correctness claim for §4.3.4: processing the two
+    disconnected query ranges as sub-requests over a shared context yields
+    exactly what a from-scratch full prefill would yield at those
+    positions (causal attention at position i depends only on <= i)."""
+
+    @pytest.mark.parametrize(
+        "dropped,cached,new_prompt",
+        [(4, 10, 6), (32, 64, 16), (1, 1, 1), (8, 0, 8)],
+    )
+    def test_subrequests_match_full_prefill(self, rng, dropped, cached, new_prompt):
+        k_log, v_log, k_cache, v_cache, slots, full_query = full_sequence_setup(
+            rng, dropped, cached, new_prompt
+        )
+        total = dropped + cached + new_prompt
+        # Ground truth: full from-scratch causal prefill.
+        expected = reference_attention(full_query, k_log, v_log, query_offset=0)
+
+        # Pensieve path: query = dropped prefix ++ new prompt.
+        query = np.concatenate(
+            [full_query[:dropped], full_query[total - new_prompt:]], axis=0
+        )
+        subs = split_disjoint_query(query, slots, dropped)
+        outs = multi_token_attention(subs, k_cache, v_cache)
+
+        np.testing.assert_allclose(
+            outs[0], expected[:dropped], rtol=1e-9, atol=1e-9
+        )
+        np.testing.assert_allclose(
+            outs[1], expected[total - new_prompt:], rtol=1e-9, atol=1e-9
+        )
+
+    def test_no_memory_copy_needed(self, rng):
+        """The sub-requests reference the original slot list (auxiliary
+        data only, §4.3.4) — the second sub-request's slots are the very
+        same list object contents."""
+        query = rng.standard_normal((10, 4, 8))
+        slots = list(range(100, 130))
+        subs = split_disjoint_query(query, slots, dropped=4)
+        assert subs[0].slots == slots[:4]
+        assert subs[1].slots == slots
+
+
+class TestSharedPrefix:
+    """Footnote 3 extension: a pinned shared prefix (system prompt)
+    precedes the conversation's own context."""
+
+    @pytest.mark.parametrize("shared,dropped,cached,new_prompt",
+                             [(6, 4, 10, 5), (8, 8, 0, 8), (3, 1, 1, 1)])
+    def test_split_with_shared_prefix_matches_full_prefill(
+        self, rng, shared, dropped, cached, new_prompt
+    ):
+        total = shared + dropped + cached + new_prompt
+        k_log, v_log, k_cache, v_cache, slots = scatter_context(
+            rng, total, 2, 8, total * 3
+        )
+        full_query = rng.standard_normal((total, 4, 8))
+        expected = reference_attention(full_query, k_log, v_log, query_offset=0)
+
+        query = np.concatenate(
+            [
+                full_query[shared : shared + dropped],
+                full_query[total - new_prompt :],
+            ],
+            axis=0,
+        )
+        subs = split_disjoint_query(query, slots, dropped, shared_prefix=shared)
+        outs = multi_token_attention(subs, k_cache, v_cache)
+        np.testing.assert_allclose(
+            outs[0], expected[shared : shared + dropped], rtol=1e-9, atol=1e-9
+        )
+        np.testing.assert_allclose(
+            outs[1], expected[total - new_prompt :], rtol=1e-9, atol=1e-9
+        )
+
+    def test_prefix_subrequest_sees_shared_context(self, rng):
+        query = rng.standard_normal((6, 4, 8))
+        slots = list(range(40))
+        subs = split_disjoint_query(query, slots, dropped=2, shared_prefix=10)
+        prefix = subs[0]
+        assert prefix.query_offset == 10
+        assert prefix.context_len == 12  # shared 10 + dropped 2
+
+    def test_shared_prefix_validation(self, rng):
+        query = rng.standard_normal((6, 4, 8))
+        with pytest.raises(ValueError):
+            split_disjoint_query(query, list(range(20)), 2, shared_prefix=-1)
+        with pytest.raises(ValueError):
+            split_disjoint_query(query, list(range(8)), 2, shared_prefix=5)

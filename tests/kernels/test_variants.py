@@ -1,0 +1,106 @@
+"""Tests for the single-token kernel and the Figure 12 straw-men.
+
+All variants must be numerically interchangeable; Figure 12 is about their
+*speed*, not their output.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels import (
+    AttentionRequest,
+    copyout_attention,
+    multi_token_attention,
+    multiround_attention,
+    reference_attention,
+    single_token_attention,
+)
+
+from tests.kernels.conftest import make_request
+
+
+class TestSingleToken:
+    def test_matches_reference(self, rng):
+        request, k_log, v_log, k_cache, v_cache = make_request(rng, q_len=1, ctx=33)
+        out = single_token_attention([request], k_cache, v_cache)[0]
+        expected = reference_attention(request.query, k_log, v_log)
+        np.testing.assert_allclose(out, expected, rtol=1e-9, atol=1e-9)
+
+    def test_is_special_case_of_multi_token(self, rng):
+        """§4.4.1: generation-phase attention is multi-token attention
+        with query size 1."""
+        request, _, _, k_cache, v_cache = make_request(rng, q_len=1, ctx=21)
+        single = single_token_attention([request], k_cache, v_cache)[0]
+        multi = multi_token_attention([request], k_cache, v_cache)[0]
+        np.testing.assert_allclose(single, multi, rtol=1e-9, atol=1e-9)
+
+    def test_rejects_multi_token_requests(self, rng):
+        """§3.2: PagedAttention limits each request to one input token."""
+        request, _, _, k_cache, v_cache = make_request(rng, q_len=3, ctx=10)
+        with pytest.raises(ValueError, match="exactly one query token"):
+            single_token_attention([request], k_cache, v_cache)
+
+    def test_rejects_interior_query(self, rng):
+        request, _, _, k_cache, v_cache = make_request(
+            rng, q_len=1, ctx=10, query_offset=4
+        )
+        with pytest.raises(ValueError, match="newest"):
+            single_token_attention([request], k_cache, v_cache)
+
+    def test_gqa(self, rng):
+        request, k_log, v_log, k_cache, v_cache = make_request(
+            rng, q_len=1, ctx=19, num_heads=8, kv_heads=2
+        )
+        out = single_token_attention([request], k_cache, v_cache)[0]
+        expected = reference_attention(request.query, k_log, v_log)
+        np.testing.assert_allclose(out, expected, rtol=1e-9, atol=1e-9)
+
+
+class TestCopyOut:
+    def test_matches_multi_token(self, rng):
+        request, _, _, k_cache, v_cache = make_request(rng, q_len=5, ctx=41)
+        copy_out = copyout_attention([request], k_cache, v_cache)[0]
+        multi = multi_token_attention([request], k_cache, v_cache)[0]
+        np.testing.assert_allclose(copy_out, multi, rtol=1e-9, atol=1e-9)
+
+    def test_batch(self, rng):
+        reqs = []
+        request, _, _, k_cache, v_cache = make_request(rng, 2, 10, num_slots=300)
+        reqs.append(request)
+        outs = copyout_attention(reqs, k_cache, v_cache)
+        assert len(outs) == 1 and outs[0].shape[0] == 2
+
+
+class TestMultiRound:
+    def test_matches_multi_token(self, rng):
+        request, _, _, k_cache, v_cache = make_request(rng, q_len=6, ctx=29)
+        rounds = multiround_attention([request], k_cache, v_cache)[0]
+        multi = multi_token_attention([request], k_cache, v_cache)[0]
+        np.testing.assert_allclose(rounds, multi, rtol=1e-9, atol=1e-9)
+
+    def test_ragged_batch(self, rng):
+        """Requests with different prompt lengths drop out of later rounds."""
+        req_a, k_a, v_a, k_cache, v_cache = make_request(
+            rng, q_len=2, ctx=12, num_slots=400
+        )
+        k_b = rng.standard_normal((20, 4, 8))
+        v_b = rng.standard_normal((20, 4, 8))
+        used = set(req_a.slots)
+        free = [s for s in range(400) if s not in used]
+        slots_b = list(rng.permutation(free)[:20])
+        k_cache[slots_b] = k_b
+        v_cache[slots_b] = v_b
+        req_b = AttentionRequest(query=rng.standard_normal((5, 4, 8)), slots=slots_b)
+        outs = multiround_attention([req_a, req_b], k_cache, v_cache)
+        np.testing.assert_allclose(
+            outs[0], reference_attention(req_a.query, k_a, v_a), rtol=1e-9, atol=1e-9
+        )
+        np.testing.assert_allclose(
+            outs[1], reference_attention(req_b.query, k_b, v_b), rtol=1e-9, atol=1e-9
+        )
+
+    def test_single_round_equals_single_token(self, rng):
+        request, _, _, k_cache, v_cache = make_request(rng, q_len=1, ctx=15)
+        rounds = multiround_attention([request], k_cache, v_cache)[0]
+        single = single_token_attention([request], k_cache, v_cache)[0]
+        np.testing.assert_allclose(rounds, single, rtol=1e-9, atol=1e-9)

@@ -1,0 +1,101 @@
+"""Tests for elementary layers."""
+
+import numpy as np
+import pytest
+
+from repro.model.layers import (
+    LayerNorm,
+    Linear,
+    OptMlp,
+    RMSNorm,
+    SwiGluMlp,
+    relu,
+    silu,
+    softmax,
+)
+
+
+class TestActivations:
+    def test_relu(self):
+        x = np.array([-2.0, 0.0, 3.0])
+        np.testing.assert_array_equal(relu(x), [0.0, 0.0, 3.0])
+
+    def test_silu_at_zero(self):
+        assert silu(np.array([0.0]))[0] == 0.0
+
+    def test_silu_approaches_identity_for_large_x(self):
+        assert silu(np.array([20.0]))[0] == pytest.approx(20.0, rel=1e-6)
+
+    def test_softmax_sums_to_one(self):
+        x = np.random.default_rng(0).standard_normal((3, 5))
+        s = softmax(x)
+        np.testing.assert_allclose(s.sum(axis=-1), 1.0)
+
+    def test_softmax_stable_for_large_inputs(self):
+        s = softmax(np.array([1e4, 1e4 + 1.0]))
+        assert np.all(np.isfinite(s))
+        assert s[1] > s[0]
+
+
+class TestNorms:
+    def test_layernorm_zero_mean_unit_var(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((4, 16)) * 7 + 3
+        y = LayerNorm.identity(16)(x)
+        np.testing.assert_allclose(y.mean(axis=-1), 0.0, atol=1e-6)
+        np.testing.assert_allclose(y.var(axis=-1), 1.0, atol=1e-3)
+
+    def test_layernorm_gain_bias(self):
+        x = np.random.default_rng(2).standard_normal((2, 8))
+        norm = LayerNorm(gain=np.full(8, 2.0), bias=np.full(8, 1.0))
+        base = LayerNorm.identity(8)(x)
+        np.testing.assert_allclose(norm(x), base * 2.0 + 1.0)
+
+    def test_rmsnorm_unit_rms(self):
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal((4, 16)) * 5
+        y = RMSNorm.identity(16)(x)
+        rms = np.sqrt((y * y).mean(axis=-1))
+        np.testing.assert_allclose(rms, 1.0, atol=1e-3)
+
+    def test_rmsnorm_does_not_recenter(self):
+        x = np.ones((1, 8)) * 4.0
+        y = RMSNorm.identity(8)(x)
+        # All-equal input stays all-equal (mean is NOT subtracted).
+        np.testing.assert_allclose(y, 1.0, atol=1e-4)
+
+
+class TestLinear:
+    def test_matmul_with_bias(self):
+        lin = Linear(weight=np.eye(3), bias=np.array([1.0, 2.0, 3.0]))
+        np.testing.assert_array_equal(
+            lin(np.array([[1.0, 0.0, 0.0]])), [[2.0, 2.0, 3.0]]
+        )
+
+    def test_no_bias(self):
+        lin = Linear(weight=np.eye(2) * 2)
+        np.testing.assert_array_equal(lin(np.array([[3.0, 4.0]])), [[6.0, 8.0]])
+
+    def test_init_shapes_and_determinism(self):
+        a = Linear.init(np.random.default_rng(7), 8, 16)
+        b = Linear.init(np.random.default_rng(7), 8, 16)
+        assert a.weight.shape == (8, 16)
+        np.testing.assert_array_equal(a.weight, b.weight)
+
+
+class TestMlps:
+    def test_opt_mlp_shapes(self):
+        mlp = OptMlp.init(np.random.default_rng(0), 8, 32)
+        out = mlp(np.random.default_rng(1).standard_normal((5, 8)))
+        assert out.shape == (5, 8)
+
+    def test_swiglu_mlp_shapes(self):
+        mlp = SwiGluMlp.init(np.random.default_rng(0), 8, 24)
+        out = mlp(np.random.default_rng(1).standard_normal((5, 8)))
+        assert out.shape == (5, 8)
+
+    def test_swiglu_has_no_biases(self):
+        mlp = SwiGluMlp.init(np.random.default_rng(0), 8, 24)
+        assert mlp.gate.bias is None
+        assert mlp.up.bias is None
+        assert mlp.down.bias is None

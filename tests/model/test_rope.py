@@ -1,0 +1,72 @@
+"""Tests for rotary positional embeddings."""
+
+import numpy as np
+import pytest
+
+from repro.model.rope import apply_rope, rope_frequencies
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestFrequencies:
+    def test_count_and_range(self):
+        freqs = rope_frequencies(8)
+        assert freqs.shape == (4,)
+        assert freqs[0] == 1.0
+        assert np.all(np.diff(freqs) < 0)
+
+    def test_odd_dim_rejected(self):
+        with pytest.raises(ValueError):
+            rope_frequencies(7)
+
+
+class TestApplyRope:
+    def test_position_zero_is_identity(self, rng):
+        x = rng.standard_normal((3, 2, 8))
+        out = apply_rope(x, np.zeros(3, dtype=np.int64))
+        np.testing.assert_allclose(out, x, atol=1e-12)
+
+    def test_preserves_norm(self, rng):
+        """Rotations are orthogonal: per-head vector norms are unchanged."""
+        x = rng.standard_normal((5, 2, 8))
+        out = apply_rope(x, np.arange(5) * 13)
+        np.testing.assert_allclose(
+            np.linalg.norm(out, axis=-1), np.linalg.norm(x, axis=-1), rtol=1e-10
+        )
+
+    def test_relative_position_property(self, rng):
+        """The rotated dot product depends only on the position offset:
+        <R(p)q, R(p+d)k> is the same for every p."""
+        q = rng.standard_normal((1, 1, 8))
+        k = rng.standard_normal((1, 1, 8))
+        d = 7
+        dots = []
+        for p in (0, 11, 100):
+            rq = apply_rope(q, np.array([p]))
+            rk = apply_rope(k, np.array([p + d]))
+            dots.append(float(np.sum(rq * rk)))
+        assert dots[0] == pytest.approx(dots[1], rel=1e-9)
+        assert dots[1] == pytest.approx(dots[2], rel=1e-9)
+
+    def test_absolute_position_stability(self, rng):
+        """Rotating the same token at the same position twice gives the
+        same rows — the property that lets cached K survive swap-out and
+        swap-in without re-rotation."""
+        x = rng.standard_normal((4, 2, 8))
+        pos = np.array([3, 17, 1, 256])
+        np.testing.assert_array_equal(apply_rope(x, pos), apply_rope(x, pos))
+
+    def test_does_not_modify_input(self, rng):
+        x = rng.standard_normal((2, 1, 4))
+        original = x.copy()
+        apply_rope(x, np.array([5, 9]))
+        np.testing.assert_array_equal(x, original)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            apply_rope(rng.standard_normal((2, 4)), np.array([0, 1]))
+        with pytest.raises(ValueError):
+            apply_rope(rng.standard_normal((2, 1, 4)), np.array([0]))

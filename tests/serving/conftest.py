@@ -1,0 +1,63 @@
+"""Shared helpers for serving-engine tests.
+
+Tests run on the tiny OPT config with an artificially small KV cache so
+memory-pressure paths (preemption, suspension, eviction) trigger at
+test-sized workloads.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Sequence, Tuple
+
+import pytest
+
+from repro.gpu.device import GpuSpec
+from repro.model import tiny_opt_config
+from repro.serving import BatchConfig, Conversation, Turn
+from repro.sim import EventLoop
+from repro.workload import ConversationDriver
+
+TINY = tiny_opt_config()
+
+
+def spec_with_capacity(capacity_tokens: int, **overrides) -> GpuSpec:
+    """A GpuSpec whose KV cache holds exactly ``capacity_tokens`` of the
+    tiny model's KV-tokens."""
+    kv_bytes = capacity_tokens * TINY.kv_bytes_per_token
+    params = dict(
+        kv_cache_bytes=kv_bytes,
+        memory_bytes=max(kv_bytes * 2, 1024),
+        cpu_memory_bytes=kv_bytes * 8,
+    )
+    params.update(overrides)
+    return dataclasses.replace(GpuSpec(), **params)
+
+
+def scripted_conversation(
+    conv_id: int,
+    turns: Sequence[Tuple[int, int]],
+    start: float = 0.0,
+    think: float = 0.0,
+) -> Conversation:
+    conv = Conversation(
+        conv_id=conv_id,
+        turns=[Turn(prompt_tokens=p, output_tokens=o) for p, o in turns],
+        start_time=start,
+    )
+    conv.think_times = [think] * (len(conv.turns) - 1)
+    return conv
+
+
+def serve(engine_factory, conversations: List[Conversation], until=None):
+    """Run a workload; returns (engine, driver, loop)."""
+    loop = EventLoop()
+    engine = engine_factory(loop)
+    driver = ConversationDriver(loop, engine, conversations)
+    driver.run(until=until, max_events=2_000_000)
+    return engine, driver, loop
+
+
+@pytest.fixture
+def small_batch_config():
+    return BatchConfig(max_batch_tokens=256, max_running=16)

@@ -1,0 +1,91 @@
+"""Tests for the metrics collector."""
+
+import pytest
+
+from repro.serving import Conversation, MetricsCollector, Request, Turn
+
+
+def finished_request(request_id, arrival, finish, first_token=None, output=10):
+    req = Request(
+        request_id=request_id,
+        conversation=Conversation(
+            conv_id=request_id, turns=[Turn(prompt_tokens=5, output_tokens=output)]
+        ),
+        turn_index=0,
+        arrival_time=arrival,
+    )
+    req.finish_time = finish
+    req.first_token_time = first_token if first_token is not None else arrival + 0.1
+    req.prefill_tokens = 5
+    return req
+
+
+class TestComplete:
+    def test_records_fields(self):
+        collector = MetricsCollector()
+        record = collector.complete(finished_request(1, 0.0, 2.0))
+        assert record.latency == 2.0
+        assert record.normalized_latency == pytest.approx(0.2)
+        assert record.ttft == pytest.approx(0.1)
+        assert len(collector) == 1
+
+    def test_incomplete_request_rejected(self):
+        collector = MetricsCollector()
+        req = finished_request(1, 0.0, 2.0)
+        req.finish_time = None
+        with pytest.raises(RuntimeError):
+            collector.complete(req)
+
+
+class TestStats:
+    def test_throughput_and_latency(self):
+        collector = MetricsCollector()
+        for i in range(10):
+            collector.complete(finished_request(i, float(i), float(i) + 2.0))
+        stats = collector.stats()
+        # 10 requests finishing between t=2 and t=11, arrivals from t=0.
+        assert stats.num_requests == 10
+        assert stats.throughput_rps == pytest.approx(10 / 11.0)
+        assert stats.mean_normalized_latency == pytest.approx(0.2)
+        assert stats.p90_normalized_latency == pytest.approx(0.2)
+        assert stats.total_output_tokens == 100
+
+    def test_warmup_window_excludes_early_finishes(self):
+        collector = MetricsCollector()
+        collector.complete(finished_request(1, 0.0, 1.0))
+        collector.complete(finished_request(2, 5.0, 7.0))
+        stats = collector.stats(warmup=2.0)
+        assert stats.num_requests == 1
+        assert stats.throughput_rps == pytest.approx(1 / 5.0)
+
+    def test_until_window(self):
+        collector = MetricsCollector()
+        collector.complete(finished_request(1, 0.0, 1.0))
+        collector.complete(finished_request(2, 0.0, 10.0))
+        stats = collector.stats(until=5.0)
+        assert stats.num_requests == 1
+
+    def test_empty_window_raises(self):
+        collector = MetricsCollector()
+        with pytest.raises(ValueError):
+            collector.stats()
+
+    def test_percentiles_ordered(self):
+        collector = MetricsCollector()
+        for i in range(50):
+            collector.complete(
+                finished_request(i, 0.0, 1.0 + i * 0.5, output=10)
+            )
+        stats = collector.stats()
+        assert (
+            stats.p50_normalized_latency
+            <= stats.p90_normalized_latency
+            <= stats.p99_normalized_latency
+        )
+
+    def test_as_dict_round_numbers(self):
+        collector = MetricsCollector()
+        collector.complete(finished_request(1, 0.0, 2.0))
+        d = collector.stats().as_dict()
+        assert d["num_requests"] == 1
+        assert "p90_norm_latency_ms" in d

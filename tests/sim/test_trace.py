@@ -1,0 +1,53 @@
+"""Tests for the trace recorder."""
+
+from repro.sim import TraceRecorder
+
+
+def test_counts_by_kind():
+    rec = TraceRecorder()
+    rec.record(0.0, "batch", tokens=10)
+    rec.record(1.0, "batch", tokens=20)
+    rec.record(1.5, "swap_in", bytes=100)
+    assert rec.count("batch") == 2
+    assert rec.count("swap_in") == 1
+    assert rec.count("missing") == 0
+    assert len(rec) == 3
+
+
+def test_numeric_payloads_accumulate():
+    rec = TraceRecorder()
+    rec.record(0.0, "batch", tokens=10, label="x")
+    rec.record(1.0, "batch", tokens=32)
+    assert rec.total("batch", "tokens") == 42
+    assert rec.total("batch", "nothing") == 0
+
+
+def test_bool_payloads_not_summed():
+    rec = TraceRecorder()
+    rec.record(0.0, "evt", flag=True)
+    assert rec.total("evt", "flag") == 0
+
+
+def test_event_filtering():
+    rec = TraceRecorder()
+    rec.record(0.0, "a", v=1)
+    rec.record(1.0, "b", v=2)
+    rec.record(2.0, "a", v=3)
+    assert [e.data["v"] for e in rec.events("a")] == [1, 3]
+    assert len(list(rec.events())) == 3
+
+
+def test_disabled_storage_keeps_aggregates():
+    rec = TraceRecorder(keep_events=False)
+    rec.record(0.0, "batch", tokens=5)
+    rec.record(1.0, "batch", tokens=7)
+    assert rec.count("batch") == 2
+    assert rec.total("batch", "tokens") == 12
+
+
+def test_clear():
+    rec = TraceRecorder()
+    rec.record(0.0, "a", v=1)
+    rec.clear()
+    assert len(rec) == 0
+    assert rec.count("a") == 0

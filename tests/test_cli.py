@@ -1,0 +1,86 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        for command in ("chat", "simulate", "sweep", "figures", "report"):
+            args = parser.parse_args(
+                [command] if command != "report" else [command, "--output", "x.md"]
+            )
+            assert args.command == command
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--model", "gpt-5", "--duration", "5"])
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--system", "orca", "--duration", "5"])
+
+
+class TestSimulate:
+    def test_simulate_pensieve(self, capsys):
+        rc = main(
+            [
+                "simulate", "--system", "pensieve", "--model", "opt-13b",
+                "--rate", "2", "--duration", "40", "--seed", "3",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Pensieve" in out
+        assert "throughput_rps" in out
+        assert "cache" in out
+
+    def test_simulate_vllm_has_no_cache_line(self, capsys):
+        rc = main(
+            [
+                "simulate", "--system", "vllm", "--model", "opt-13b",
+                "--rate", "2", "--duration", "40",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "vLLM" in out
+        assert "cache         :" not in out
+
+    def test_model_name_normalisation(self, capsys):
+        rc = main(
+            [
+                "simulate", "--system", "pensieve", "--model", "LLAMA2-13B",
+                "--rate", "2", "--duration", "30",
+            ]
+        )
+        assert rc == 0
+        assert "Llama 2-13B" in capsys.readouterr().out
+
+
+class TestSweep:
+    def test_sweep_prints_curve(self, capsys):
+        rc = main(
+            [
+                "sweep", "--system", "tensorrt-llm", "--model", "opt-13b",
+                "--rates", "1", "2", "--duration", "40",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "tensorrt-llm / OPT-13B" in out
+        assert "thr(req/s)" in out
+
+
+class TestFigures:
+    def test_figures_prints_all(self, capsys):
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out
+        for label in ("Figure 3", "Figure 4", "Figure 12", "Table 2"):
+            assert label in out

@@ -1,0 +1,75 @@
+"""Tests for workload trace save/replay."""
+
+import json
+
+import pytest
+
+from repro.workload.dataset import SHAREGPT, generate_conversations
+from repro.workload.trace import (
+    TRACE_VERSION,
+    conversations_from_dict,
+    conversations_to_dict,
+    load_trace,
+    save_trace,
+)
+
+
+@pytest.fixture
+def workload():
+    return generate_conversations(SHAREGPT, 20, request_rate=2.0, seed=11)
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_preserves_everything(self, workload):
+        replayed = conversations_from_dict(conversations_to_dict(workload))
+        assert len(replayed) == len(workload)
+        for original, copy in zip(workload, replayed):
+            assert copy.conv_id == original.conv_id
+            assert copy.start_time == original.start_time
+            assert copy.think_times == original.think_times
+            assert [(t.prompt_tokens, t.output_tokens) for t in copy.turns] == [
+                (t.prompt_tokens, t.output_tokens) for t in original.turns
+            ]
+
+    def test_file_round_trip(self, workload, tmp_path):
+        path = tmp_path / "trace.json"
+        save_trace(workload, path, meta={"dataset": "ShareGPT", "seed": 11})
+        replayed = load_trace(path)
+        assert len(replayed) == len(workload)
+        payload = json.loads(path.read_text())
+        assert payload["version"] == TRACE_VERSION
+        assert payload["meta"]["dataset"] == "ShareGPT"
+
+    def test_replay_drives_identical_simulation(self, workload, tmp_path):
+        """Serving the replayed trace gives bit-identical metrics."""
+        from repro.experiments.common import run_serving_once
+        from repro.serving import make_vllm
+
+        from tests.serving.conftest import TINY, spec_with_capacity
+
+        path = tmp_path / "trace.json"
+        save_trace(workload, path)
+        factory = lambda loop: make_vllm(loop, TINY, spec_with_capacity(2048))
+        _, stats_a = run_serving_once(factory, workload)
+        _, stats_b = run_serving_once(factory, load_trace(path))
+        assert stats_a.throughput_rps == stats_b.throughput_rps
+        assert stats_a.mean_normalized_latency == stats_b.mean_normalized_latency
+
+
+class TestValidation:
+    def test_version_checked(self):
+        with pytest.raises(ValueError, match="version"):
+            conversations_from_dict({"version": 99, "conversations": []})
+
+    def test_malformed_record_rejected(self):
+        data = {
+            "version": TRACE_VERSION,
+            "conversations": [{"conv_id": 0, "turns": [[3, 4]]}],  # no times
+        }
+        with pytest.raises(ValueError, match="malformed"):
+            conversations_from_dict(data)
+
+    def test_empty_trace_ok(self):
+        assert conversations_from_dict(
+            {"version": TRACE_VERSION, "conversations": []}
+        ) == []
