@@ -29,20 +29,51 @@ def _model(name: str) -> ModelConfig:
     return lookup[key]
 
 
-def _engine_factory(system: str, config: ModelConfig):
+def _fault_plan(args: argparse.Namespace):
+    """Build a FaultPlan from ``--fault-seed`` / ``--fault-rate`` (or None)."""
+    if getattr(args, "fault_seed", None) is None:
+        return None
+    from repro.faults import FaultPlan, FaultSite
+
+    rate = args.fault_rate
+    if not 0.0 <= rate <= 1.0:
+        raise SystemExit(f"--fault-rate must be in [0, 1], got {rate}")
+    return FaultPlan(
+        seed=args.fault_seed,
+        rates={
+            FaultSite.SWAP_IN: rate,
+            FaultSite.SWAP_OUT: rate,
+            FaultSite.GPU_ALLOC: rate,
+            FaultSite.CPU_READ: rate / 4,
+            FaultSite.WORKER_STEP: rate / 4,
+        },
+    )
+
+
+def _engine_factory(system: str, config: ModelConfig, fault_plan=None):
     from repro.core.engine import PensieveEngine
     from repro.gpu.device import A100_80GB
     from repro.serving.stateless import make_tensorrt_llm, make_vllm
 
     system = system.lower()
+    if fault_plan is not None and system not in (
+        "pensieve", "pensieve-gpu", "pensieve-gpu-cache"
+    ):
+        raise SystemExit(
+            "--fault-seed requires a stateful system (pensieve, pensieve-gpu)"
+        )
     if system == "vllm":
         return lambda loop: make_vllm(loop, config, A100_80GB)
     if system in ("trt", "tensorrt", "tensorrt-llm"):
         return lambda loop: make_tensorrt_llm(loop, config, A100_80GB)
     if system == "pensieve":
-        return lambda loop: PensieveEngine(loop, config, A100_80GB)
+        return lambda loop: PensieveEngine(
+            loop, config, A100_80GB, fault_plan=fault_plan
+        )
     if system in ("pensieve-gpu", "pensieve-gpu-cache"):
-        return lambda loop: PensieveEngine(loop, config, A100_80GB, cpu_cache_tokens=0)
+        return lambda loop: PensieveEngine(
+            loop, config, A100_80GB, cpu_cache_tokens=0, fault_plan=fault_plan
+        )
     raise SystemExit(
         f"unknown system {system!r}; choose from vllm, tensorrt-llm, "
         "pensieve, pensieve-gpu"
@@ -100,8 +131,9 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         think_time_mean=args.think_time,
         seed=args.seed,
     )
+    fault_plan = _fault_plan(args)
     engine, stats = run_serving_once(
-        _engine_factory(args.system, config),
+        _engine_factory(args.system, config, fault_plan),
         conversations,
         until=args.duration,
         warmup=args.duration * 0.3,
@@ -114,6 +146,9 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         print(f"{key:22s}: {value}")
     if hasattr(engine, "manager"):
         print("cache         :", cache_summary(engine).as_dict())
+    if fault_plan is not None:
+        print("faults        :", engine.metrics.faults.as_dict())
+        print(f"degraded      : {engine.num_failed}")
     return 0
 
 
@@ -183,6 +218,12 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--duration", type=float, default=300.0)
     simulate.add_argument("--think-time", type=float, default=60.0)
     simulate.add_argument("--seed", type=int, default=7)
+    simulate.add_argument("--fault-seed", type=int, default=None,
+                          help="arm deterministic fault injection (stateful "
+                               "systems only) seeded with this value")
+    simulate.add_argument("--fault-rate", type=float, default=0.05,
+                          help="per-occurrence failure probability used for "
+                               "the injected fault sites")
     simulate.set_defaults(func=cmd_simulate)
 
     sweep = sub.add_parser("sweep", help="latency-throughput curve")

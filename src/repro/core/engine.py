@@ -31,6 +31,7 @@ from repro.gpu.device import GpuSpec
 from repro.gpu.pcie import Direction, PcieEngine
 from repro.gpu.profiler import OfflineProfiler
 from repro.core.eviction import LruPolicy, RetentionValuePolicy
+from repro.faults import FaultPlan, FaultSite, RetryPolicy, attempt_with_retries
 from repro.kvcache.manager import (
     CacheCapacityError,
     EvictionScorer,
@@ -71,6 +72,11 @@ class PensieveEngine(EngineBase):
             (§4.3.3); ``False`` blocks on the full transfer (ablation).
         prioritize_retrieval: §5 PCIe scheduling optimisation.
         name: engine label override.
+        fault_plan: optional seeded failure schedule (chaos runs); the
+            engine recovers along the retry → recompute-fallback →
+            per-request-failure ladder and counts the degradation in
+            ``metrics.faults``.
+        retry_policy: bounded-backoff budget for transient faults.
     """
 
     def __init__(
@@ -88,6 +94,8 @@ class PensieveEngine(EngineBase):
         name: Optional[str] = None,
         keep_trace: bool = False,
         whole_conversation_eviction: bool = False,
+        fault_plan: Optional[FaultPlan] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         cost_model = CostModel(config, spec)
         if name is None:
@@ -103,12 +111,16 @@ class PensieveEngine(EngineBase):
         if cpu_cache_tokens is None:
             cpu_cache_tokens = int(spec.cpu_memory_bytes * config.num_gpus // kv)
         scorer = self._resolve_policy(policy, cost_model, chunk_size)
+        self.fault_plan = fault_plan
+        self.retry_policy = retry_policy or RetryPolicy()
         self.manager = TwoTierCacheManager(
             gpu_capacity_tokens=gpu_tokens,
             cpu_capacity_tokens=cpu_cache_tokens,
             chunk_size=chunk_size,
             scorer=scorer,
             whole_conversation_eviction=whole_conversation_eviction,
+            fault_plan=fault_plan,
+            fault_counters=self.metrics.faults,
         )
         # Tensor parallelism shards the KV feature dimension, so each of
         # the N workers moves 1/N of the bytes over its own PCIe link
@@ -121,6 +133,8 @@ class PensieveEngine(EngineBase):
         self._prefill_info: Dict[int, _PrefillInfo] = {}
         # Per-iteration stash set by _form_batch, consumed by _execute.
         self._iter_swap_in_seconds = 0.0
+        # Simulated seconds spent in fault-retry backoff this iteration.
+        self._iter_fault_delay = 0.0
         self.suspensions = 0
         # Copy-settlement ledger (§4.3.2): ahead-of-time copies become
         # *reclaimable in time* only once their D2H transfer lands.  Each
@@ -148,8 +162,27 @@ class PensieveEngine(EngineBase):
     # Batch formation (§4.2)
     # ------------------------------------------------------------------
 
+    def _attempt(self, site: FaultSite) -> bool:
+        """Try one faultable operation, retrying with bounded backoff.
+
+        Retries and their simulated delay are charged to this iteration
+        (the backoff lands on the sim clock via the iteration duration).
+        Returns False on terminal failure.
+        """
+        if self.fault_plan is None:
+            return True
+        ok, retries, delay = attempt_with_retries(
+            self.fault_plan, site, self.retry_policy
+        )
+        self.metrics.faults.retries += retries
+        self._iter_fault_delay += delay
+        if site is FaultSite.GPU_ALLOC and (retries > 0 or not ok):
+            self.metrics.faults.alloc_faults += 1
+        return ok
+
     def _form_batch(self, now: float) -> List[Request]:
         self._iter_swap_in_seconds = 0.0
+        self._iter_fault_delay = 0.0
         self._iter_reclaim_wait = 0.0
         decoders = self._grow_decoders(now)
         admitted = self._admit(now)
@@ -169,6 +202,11 @@ class PensieveEngine(EngineBase):
             decoders.remove(victim)
         grown: List[Request] = []
         for request in decoders:
+            if not self._attempt(FaultSite.GPU_ALLOC):
+                # Allocation kept failing past the retry budget: this
+                # request alone degrades; its siblings keep decoding.
+                self._fail_request(request, now, "gpu_alloc")
+                continue
             try:
                 self.manager.append_tokens(request.conv_id, 1)
             except CacheCapacityError:
@@ -246,6 +284,11 @@ class PensieveEngine(EngineBase):
             if needed_reclaim > 0 and needed_reclaim > self._reclaim_budget(now):
                 refuse()
                 break
+            if not self._attempt(FaultSite.GPU_ALLOC):
+                # Terminal allocation fault: degrade this request alone
+                # (structured error path); admission continues behind it.
+                self._fail_request(request, now, "gpu_alloc")
+                continue
             self._do_admit(request, plan, now)
             admitted.append(request)
             batch_tokens += prefill
@@ -253,6 +296,8 @@ class PensieveEngine(EngineBase):
 
     def _do_admit(self, request, plan, now: float) -> None:
         self.wait_queue.popleft()
+        if plan.swap_in_tokens > 0:
+            plan = self._swap_in_with_faults(request, plan, now)
         if plan.swap_in_tokens > 0:
             swap_bytes = plan.swap_in_tokens * self.model_config.kv_bytes_per_token
             record = self.pcie.swap_in(now, swap_bytes)
@@ -278,6 +323,38 @@ class PensieveEngine(EngineBase):
             gpu_hits=plan.gpu_hit_tokens, swap_in=plan.swap_in_tokens,
             recompute=plan.recompute_tokens, new=plan.new_tokens,
         )
+
+    def _swap_in_with_faults(self, request, plan, now: float):
+        """Model the H2D retrieval's failure modes before it is priced.
+
+        A terminally-failed transfer, or a corrupt CPU read caught by the
+        store checksum, falls back to the §4.3.4 recomputation path: the
+        conversation's CPU chunks are invalidated (``CPU -> DROPPED``) and
+        the restore plan is recomputed — ``alloc_tokens`` is unchanged
+        (swap-in tokens become recompute tokens), so the admission checks
+        already performed remain valid.  Returns the effective plan.
+        """
+        if self.fault_plan is None:
+            return plan
+        ok, retries, delay = attempt_with_retries(
+            self.fault_plan, FaultSite.SWAP_IN, self.retry_policy
+        )
+        self.metrics.faults.retries += retries
+        self._iter_fault_delay += delay
+        corrupt = ok and self.fault_plan.fires(FaultSite.CPU_READ)
+        if ok and not corrupt:
+            return plan
+        if not ok:
+            self.metrics.faults.swap_in_failures += 1
+        if corrupt:
+            self.metrics.faults.corrupted_chunks += len(plan.swap_in_chunks)
+        self.metrics.faults.recompute_fallbacks += 1
+        invalidated = self.manager.invalidate_cpu_prefix(request.conv_id)
+        self.trace.record(
+            now, "swap_in_fallback", request_id=request.request_id,
+            tokens=invalidated, corrupt=corrupt,
+        )
+        return self.manager.plan_restore(request.conv_id, request.prompt_tokens)
 
     def _idle_retry_delay(self, now: float) -> Optional[float]:
         """Retry blocked admissions when the next pending copy settles
@@ -323,14 +400,25 @@ class PensieveEngine(EngineBase):
         compute = self.cost_model.iteration_time(
             shape, variant=KernelVariant.PENSIEVE_PAGED
         )
+        # Retry backoff spent this iteration, plus any injected worker
+        # stall: with tensor parallelism every iteration ends in an
+        # all-reduce, so one straggling worker stalls the whole step.
+        extra = self._iter_fault_delay
+        if (
+            self.fault_plan is not None
+            and self.model_config.num_gpus > 1
+            and self.fault_plan.fires(FaultSite.WORKER_STEP)
+        ):
+            extra += self.fault_plan.stall_seconds
+            self.metrics.faults.worker_stalls += 1
         transfer = self._iter_swap_in_seconds
         if transfer <= 0.0:
-            return compute
+            return compute + extra
         if not self.pipelined_swap_in:
-            return transfer + compute
+            return transfer + compute + extra
         # §4.3.3: per-layer transfer overlapped with per-layer compute;
         # ``transfer`` already reflects PCIe queueing and duplex effects.
-        return CostModel.pipelined_time(
+        return extra + CostModel.pipelined_time(
             compute, transfer, self.model_config.num_layers
         )
 
@@ -360,6 +448,12 @@ class PensieveEngine(EngineBase):
             )
             self._log_copy(record.end_time, copied_tokens)
             self.trace.record(now, "aot_swap_out", tokens=copied_tokens)
+
+    def _on_fail(self, request: Request, now: float) -> None:
+        """Degraded request: unpin its conversation but keep the cached
+        KV-tokens — a later turn restores or recomputes them normally."""
+        if self.manager.conversation(request.conv_id) is not None:
+            self.manager.close(request.conv_id, now)
 
     def _on_finish(self, request: Request, now: float) -> None:
         """Stateful: the conversation's KV-tokens stay cached (§4.3)."""

@@ -25,6 +25,15 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.eviction import LruPolicy
+from repro.faults import (
+    ChunkCorruptionError,
+    FaultCounters,
+    FaultPlan,
+    FaultSite,
+    RequestFaultedError,
+    RetryPolicy,
+    attempt_with_retries,
+)
 from repro.kvcache.chunks import Chunk, ChunkLocation, ConversationCache
 from repro.kvcache.manager import EvictionScorer, TwoTierCacheManager
 from repro.kvcache.pages import BlockTable, PagePool
@@ -54,6 +63,10 @@ class StatefulChatServer:
             used to size the page pool's internal-fragmentation allowance
             (each conversation wastes at most one partially-filled tail
             page, exactly like a vLLM sequence).
+        fault_plan: optional seeded failure schedule (chaos testing); the
+            server recovers along the retry → recompute-fallback →
+            per-request-failure ladder, counting into ``fault_counters``.
+        retry_policy: bounded-backoff budget for transient faults.
     """
 
     def __init__(
@@ -67,6 +80,8 @@ class StatefulChatServer:
         seed: int = 0,
         tokenizer: Optional[SimpleTokenizer] = None,
         max_conversations: int = 64,
+        fault_plan: Optional[FaultPlan] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         if chunk_size % page_size != 0:
             raise ValueError(
@@ -83,8 +98,15 @@ class StatefulChatServer:
         self.pool = PagePool(
             num_pages=pool_tokens // page_size, page_size=page_size
         )
+        self.fault_plan = fault_plan
+        self.retry_policy = retry_policy or RetryPolicy()
+        #: Degradation counters (same schema as the simulated engine's
+        #: ``metrics.faults``); all-zero when no fault plan is armed.
+        self.fault_counters = FaultCounters()
+        #: Structured errors of individually-failed requests, in order.
+        self.failures: List[RequestFaultedError] = []
         self.storage = KVStorage(self.config, num_slots=pool_tokens)
-        self.cpu_store = CpuChunkStore(cpu_capacity_tokens)
+        self.cpu_store = CpuChunkStore(cpu_capacity_tokens, fault_plan=fault_plan)
         self.model = PagedTransformer(self.config, self.storage, seed=seed)
         self.tokenizer = tokenizer or SimpleTokenizer(self.config.vocab_size)
         self.manager = TwoTierCacheManager(
@@ -92,6 +114,8 @@ class StatefulChatServer:
             cpu_capacity_tokens=cpu_capacity_tokens,
             chunk_size=chunk_size,
             scorer=scorer or LruPolicy(),
+            fault_plan=fault_plan,
+            fault_counters=self.fault_counters,
         )
         self.manager.observer = self._on_transition
         self._tables: Dict[int, BlockTable] = {}
@@ -142,7 +166,10 @@ class StatefulChatServer:
             self.cpu_store.drop(cache.conv_id, chunk.index)
             table.vacate_front(chunk.num_tokens)
         elif old is ChunkLocation.CPU and new is ChunkLocation.DROPPED:
-            self.cpu_store.drop(cache.conv_id, chunk.index)
+            # The entry may already be gone when a partially-popped swap-in
+            # prefix is being invalidated after a corrupt read.
+            if self.cpu_store.contains(cache.conv_id, chunk.index):
+                self.cpu_store.drop(cache.conv_id, chunk.index)
         elif old is ChunkLocation.CPU and new is ChunkLocation.GPU:
             # Swap-in is orchestrated by chat() (restore_front needs the
             # whole vacated prefix handled in one batch); nothing here.
@@ -216,6 +243,46 @@ class StatefulChatServer:
         return self._system_slots + table.slots(0, table.length)
 
     # ------------------------------------------------------------------
+    # Fault handling
+    # ------------------------------------------------------------------
+
+    def _attempt(self, site: FaultSite) -> Tuple[bool, int]:
+        """Try one faultable operation with bounded backoff on the server
+        clock; returns ``(success, attempts)``."""
+        if self.fault_plan is None:
+            return True, 1
+        ok, retries, delay = attempt_with_retries(
+            self.fault_plan, site, self.retry_policy
+        )
+        self._clock += delay
+        self.fault_counters.retries += retries
+        return ok, 1 + retries
+
+    def _abort_conversation(self, conv_id: int) -> None:
+        """Discard every trace of a conversation after an unrecoverable
+        mid-decode fault, leaving the server consistent for other convs.
+
+        The conversation is lost (its next turn starts fresh) — the
+        documented last rung of the degradation ladder.
+        """
+        self.manager.forget(conv_id)
+        table = self._tables.pop(conv_id, None)
+        if table is not None:
+            table.release()
+        # ``forget`` bypasses the observer, so mirror the cleanup here.
+        for chunk_index in self.cpu_store.chunks_of(conv_id):
+            self.cpu_store.drop(conv_id, chunk_index)
+        self.raw_tokens.pop(conv_id, None)
+
+    def _fail_request(
+        self, conv_id: int, site: FaultSite, attempts: int
+    ) -> RequestFaultedError:
+        error = RequestFaultedError(conv_id=conv_id, site=site, attempts=attempts)
+        self.fault_counters.degraded_requests += 1
+        self.failures.append(error)
+        return error
+
+    # ------------------------------------------------------------------
     # Serving
     # ------------------------------------------------------------------
 
@@ -241,6 +308,12 @@ class StatefulChatServer:
 
         Returns:
             The generated token ids (decode with ``server.tokenizer``).
+
+        Raises:
+            RequestFaultedError: if an injected fault outlives its retry
+                budget; the error is structured (conversation, site,
+                attempts) and the server remains consistent for every
+                other conversation.
         """
         self._clock += 1.0
         now = self._clock
@@ -307,7 +380,32 @@ class StatefulChatServer:
         # Pin first so capacity-making below cannot evict this
         # conversation's own chunks out from under the plan.
         self.manager.open(conv_id, now)
+        # Transient GPU-allocation fault gate, retried with backoff on the
+        # server clock.  A terminal failure degrades this request alone —
+        # nothing was mutated yet, so unpinning restores the status quo.
+        ok, attempts = self._attempt(FaultSite.GPU_ALLOC)
+        if not ok:
+            cache = self.manager.conversation(conv_id)
+            if cache is not None and cache.total_tokens > 0:
+                # Prior turns' context survives the failed turn, unpinned.
+                self.manager.close(conv_id, now)
+            else:
+                self._abort_conversation(conv_id)
+            raise self._fail_request(conv_id, FaultSite.GPU_ALLOC, attempts)
         plan = self.manager.plan_restore(conv_id, len(prompt_ids))
+
+        # PCIe swap-in transfer fault: a terminal failure falls back to
+        # the §4.3.4 recompute path.  ``alloc_tokens`` is unchanged (the
+        # swap-in tokens become recompute tokens), so the capacity work
+        # below is identical either way.
+        if plan.swap_in_chunks:
+            ok, _ = self._attempt(FaultSite.SWAP_IN)
+            if not ok:
+                self.fault_counters.swap_in_failures += 1
+                self.fault_counters.recompute_fallbacks += 1
+                self.manager.invalidate_cpu_prefix(conv_id)
+                plan = self.manager.plan_restore(conv_id, len(prompt_ids))
+
         # Make room (may evict other conversations — the observer moves
         # their tensors; reclaim happens lazily inside commit_restore).
         self.manager.ensure_capacity(plan.alloc_tokens, now)
@@ -322,11 +420,28 @@ class StatefulChatServer:
         # promotion of GPU_CPU chunks only; CPU->GPU data is handled here).
         # Capture ranges now: commit_restore may extend the partial tail
         # chunk in place, but the stored data covers the pre-extension
-        # token range.
-        restored_data = [
-            (chunk.start, chunk.end, self.cpu_store.pop(conv_id, chunk.index))
-            for chunk in plan.swap_in_chunks
-        ]
+        # token range.  Every read re-verifies the insertion-time checksum.
+        restored_data = []
+        corrupt_upto: Optional[Chunk] = None
+        for chunk in plan.swap_in_chunks:
+            try:
+                restored_data.append(
+                    (chunk.start, chunk.end, self.cpu_store.pop(conv_id, chunk.index))
+                )
+            except ChunkCorruptionError:
+                self.fault_counters.corrupted_chunks += 1
+                corrupt_upto = chunk
+        if corrupt_upto is not None:
+            # Checksum caught host-side corruption: invalidate the CPU
+            # prefix through the (last) corrupt chunk — the Figure 5
+            # layout only lets the DROPPED prefix grow, so already-popped
+            # predecessors are discarded too — and recompute those tokens.
+            self.fault_counters.recompute_fallbacks += 1
+            self.manager.invalidate_cpu_prefix(conv_id, upto=corrupt_upto)
+            restored_data = [
+                item for item in restored_data if item[0] >= corrupt_upto.end
+            ]
+            plan = self.manager.plan_restore(conv_id, len(prompt_ids))
         self.manager.commit_restore(plan, now)
 
         # Physically restore the vacated prefix: dropped tokens get fresh
@@ -347,7 +462,18 @@ class StatefulChatServer:
 
     def _grow(self, conv_id: int, table: BlockTable, now: float) -> None:
         """Extend a running conversation by one decode token, swapping
-        other conversations out of the way if the GPU tier is full."""
+        other conversations out of the way if the GPU tier is full.
+
+        Raises:
+            RequestFaultedError: if an injected allocation fault outlives
+                its retry budget mid-decode; the conversation is discarded
+                (the last rung of the degradation ladder) and the server
+                stays consistent for every other conversation.
+        """
+        ok, attempts = self._attempt(FaultSite.GPU_ALLOC)
+        if not ok:
+            self._abort_conversation(conv_id)
+            raise self._fail_request(conv_id, FaultSite.GPU_ALLOC, attempts)
         if self.manager.gpu_available_tokens < 1:
             self.manager.ensure_capacity(1, now)
         self.manager.append_tokens(conv_id, 1)
@@ -381,6 +507,8 @@ class StatefulChatServer:
 
         Returns:
             Mapping of conversation id to its generated token ids.
+            Conversations whose requests failed individually under an
+            armed fault plan are omitted (see ``self.failures``).
         """
         self._clock += 1.0
         now = self._clock
@@ -391,16 +519,23 @@ class StatefulChatServer:
             raise ValueError(f"conversation id {self.SYSTEM_CONV_ID} is reserved")
 
         # Phase 1: restore/extend every conversation's context (pins all,
-        # so later restores cannot evict earlier batch members).
+        # so later restores cannot evict earlier batch members).  A
+        # request that exhausts its fault retries drops out individually;
+        # the rest of the batch is served normally.
         prepared = []
         for conv_id, prompt_ids in prompts:
             prompt_ids = list(prompt_ids)
             if not prompt_ids:
                 raise ValueError(f"empty prompt for conversation {conv_id}")
-            table, dropped, input_ids = self._restore_context(
-                conv_id, prompt_ids, now
-            )
+            try:
+                table, dropped, input_ids = self._restore_context(
+                    conv_id, prompt_ids, now
+                )
+            except RequestFaultedError:
+                continue  # recorded in self.failures; batch goes on
             prepared.append((conv_id, prompt_ids, table, dropped, input_ids))
+        if not prepared:
+            return {}
 
         # Phase 2: one unified prefill batch.
         shared = len(self._system_slots)
@@ -420,11 +555,20 @@ class StatefulChatServer:
         }
 
         # Phase 3: batched decode steps (every conversation advances by
-        # one token per iteration, like the simulated engine).
+        # one token per iteration, like the simulated engine).  A
+        # mid-decode terminal fault removes only the affected
+        # conversation; its siblings keep decoding.
         for _ in range(max_new_tokens):
             steps = []
-            for conv_id, _, table, _, _ in prepared:
-                self._grow(conv_id, table, now)
+            survivors = []
+            for item in prepared:
+                conv_id, _, table, _, _ = item
+                try:
+                    self._grow(conv_id, table, now)
+                except RequestFaultedError:
+                    generated.pop(conv_id, None)
+                    continue
+                survivors.append(item)
                 steps.append(
                     ForwardRequest(
                         input_ids=np.asarray(
@@ -434,6 +578,9 @@ class StatefulChatServer:
                         shared_prefix=shared,
                     )
                 )
+            prepared = survivors
+            if not prepared:
+                return {}
             step_logits = self.model.forward(steps)
             if len(generated[prepared[0][0]]) >= max_new_tokens:
                 break  # final iteration only wrote the last tokens' KV

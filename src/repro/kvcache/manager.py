@@ -33,6 +33,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
+from repro.faults.plan import FaultCounters, FaultPlan, FaultSite
 from repro.kvcache.chunks import Chunk, ChunkLocation, ConversationCache
 
 #: Eviction scorer: ``(chunk, last_active, now) -> score``.  Chunks are
@@ -110,6 +111,10 @@ class TwoTierCacheManager:
         chunk_size: eviction granularity in tokens (32 in the paper).
         scorer: eviction policy; defaults (when ``None``) must be supplied
             before any eviction happens.
+        fault_plan: optional seeded failure schedule; when set, D2H copies
+            may fail and the affected chunks degrade to ``DROPPED`` (their
+            tokens recompute later) instead of crashing the manager.
+        fault_counters: recovery accounting shared with the owning engine.
     """
 
     def __init__(
@@ -119,6 +124,8 @@ class TwoTierCacheManager:
         chunk_size: int = 32,
         scorer: Optional[EvictionScorer] = None,
         whole_conversation_eviction: bool = False,
+        fault_plan: Optional[FaultPlan] = None,
+        fault_counters: Optional[FaultCounters] = None,
     ) -> None:
         if gpu_capacity_tokens <= 0:
             raise ValueError("gpu_capacity_tokens must be positive")
@@ -130,6 +137,8 @@ class TwoTierCacheManager:
         self.cpu_capacity_tokens = cpu_capacity_tokens
         self.chunk_size = chunk_size
         self.scorer = scorer
+        self.fault_plan = fault_plan
+        self.fault_counters = fault_counters or FaultCounters()
         #: CachedAttention-style eviction granularity (paper Table 3):
         #: evict a conversation's entire GPU-resident context at once
         #: instead of chunk by chunk.  Kept for the granularity ablation.
@@ -406,14 +415,47 @@ class TwoTierCacheManager:
         cache = self._conversations[conv_id]
         if count > self.gpu_free_tokens:
             deficit = count - self.gpu_free_tokens
-            reclaimed = self.reclaim(deficit, now=cache.last_active, exclude=conv_id)
-            if reclaimed < deficit:
+            # Check before reclaiming anything: a partial reclaim mutates
+            # tier state, so refusing *after* it would leave chunks evicted
+            # by an operation that reports failure (non-atomic).
+            available = self._reclaimable
+            if not cache.pinned:
+                available -= cache.tokens_in(ChunkLocation.GPU_CPU)
+            if deficit > available:
                 raise CacheCapacityError(
                     f"decode growth of {count} tokens does not fit "
-                    f"(free={self.gpu_free_tokens})"
+                    f"(free={self.gpu_free_tokens}, reclaimable={available})"
                 )
+            reclaimed = self.reclaim(deficit, now=cache.last_active, exclude=conv_id)
+            assert reclaimed >= deficit, (reclaimed, deficit)
         cache.extend_to(cache.total_tokens + count)
         self._on_extend(cache, count)
+
+    def invalidate_cpu_prefix(
+        self, conv_id: int, upto: Optional[Chunk] = None
+    ) -> int:
+        """Recovery path for a failed or corrupt swap-in: drop the
+        conversation's CPU chunks from the front through ``upto`` (all of
+        them when ``None``) so the next restore plan recomputes those
+        tokens from the raw-token store (§4.3.4 fallback).
+
+        Only the leading prefix may be invalidated — CPU chunks sit right
+        after the ``DROPPED`` prefix, so growing that prefix keeps the
+        Figure 5 layout legal by construction.  Returns tokens invalidated
+        (0 for an unknown conversation — recovery must not raise anew).
+        """
+        cache = self._conversations.get(conv_id)
+        if cache is None:
+            return 0
+        invalidated = 0
+        for chunk in cache.chunks_in(ChunkLocation.CPU):
+            if upto is not None and chunk.index > upto.index:
+                break
+            self._move(cache, chunk, ChunkLocation.DROPPED)
+            self.stats["dropped_tokens"] += chunk.num_tokens
+            invalidated += chunk.num_tokens
+        cache.check_layout()
+        return invalidated
 
     # ------------------------------------------------------------------
     # Eviction machinery
@@ -493,6 +535,14 @@ class TwoTierCacheManager:
             self._move(cache, chunk, ChunkLocation.DROPPED)
             self.stats["dropped_tokens"] += chunk.num_tokens
             cache.check_layout()
+            return "dropped"
+        if self.fault_plan is not None and self.fault_plan.fires(FaultSite.SWAP_OUT):
+            # The D2H copy failed: degrade by discarding the candidate's
+            # leading prefix outright — the tokens recompute on return
+            # (§4.3.4), so no served output is ever lost, and the chunk's
+            # GPU slots still free up (guaranteed progress).
+            self.fault_counters.swap_out_failures += 1
+            self._drop_leading_prefix(cache, chunk)
             return "dropped"
         if self.cpu_free_tokens < chunk.num_tokens:
             self.drop_from_cpu(
@@ -633,6 +683,16 @@ class TwoTierCacheManager:
         # which also preserves the Figure 5 layout by construction.
         gpu_tokens = sum(c.num_tokens for c in gpu_chunks)
         room = 0 if self.cpu_capacity_tokens == 0 else self.cpu_free_tokens
+        if (
+            gpu_tokens > 0
+            and room > 0
+            and self.fault_plan is not None
+            and self.fault_plan.fires(FaultSite.SWAP_OUT)
+        ):
+            # The suspension's batched D2H copy failed: degrade every chunk
+            # to a drop; the suspended request recomputes them on resume.
+            self.fault_counters.swap_out_failures += 1
+            room = 0
         copied = 0
         dropped = 0
         for chunk in gpu_chunks:

@@ -11,9 +11,13 @@ the identical bookkeeping code with ``storage=None``.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple
+import zlib
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+from repro.faults.errors import ChunkCorruptionError
+from repro.faults.plan import FaultPlan, FaultSite
 
 if TYPE_CHECKING:  # avoids a circular import with repro.model
     from repro.model.config import ModelConfig
@@ -86,20 +90,32 @@ class KVStorage:
         self.v[:, idx] = v
 
 
+def _checksum(k: np.ndarray, v: np.ndarray) -> int:
+    """CRC32 over a chunk's K and V bytes (cheap end-to-end integrity)."""
+    return zlib.crc32(v.tobytes(), zlib.crc32(k.tobytes()))
+
+
 class CpuChunkStore:
     """Host-memory store of evicted KV chunks.
 
-    Each entry holds the all-layer K/V tensors of one chunk.  Capacity is
-    expressed in tokens; callers are responsible for making room (the
-    two-tier manager drops chunks by policy before inserting).
+    Each entry holds the all-layer K/V tensors of one chunk, together with
+    a CRC32 checksum computed at insertion; every read re-verifies it, so
+    host-side corruption (real or injected through ``fault_plan``) is
+    detected before the data can reach GPU pages.  Capacity is expressed
+    in tokens; callers are responsible for making room (the two-tier
+    manager drops chunks by policy before inserting).
     """
 
-    def __init__(self, capacity_tokens: int) -> None:
+    def __init__(
+        self, capacity_tokens: int, fault_plan: Optional[FaultPlan] = None
+    ) -> None:
         if capacity_tokens < 0:
             raise ValueError(f"capacity_tokens must be >= 0, got {capacity_tokens}")
         self.capacity_tokens = capacity_tokens
+        self.fault_plan = fault_plan
         self._entries: Dict[Tuple[int, int], Tuple[np.ndarray, np.ndarray]] = {}
         self._tokens: Dict[Tuple[int, int], int] = {}
+        self._checksums: Dict[Tuple[int, int], int] = {}
         self.used_tokens = 0
 
     def put(
@@ -125,16 +141,48 @@ class CpuChunkStore:
             )
         self._entries[key] = (k.copy(), v.copy())
         self._tokens[key] = tokens
+        self._checksums[key] = _checksum(k, v)
         self.used_tokens += tokens
 
+    def _verify(self, key: Tuple[int, int]) -> None:
+        """Check a stored chunk against its insertion-time checksum.
+
+        An armed fault plan corrupts the stored bytes first, so the
+        verification exercises the real detection path end to end.
+
+        Raises:
+            ChunkCorruptionError: on checksum mismatch.
+        """
+        k, v = self._entries[key]
+        if self.fault_plan is not None and self.fault_plan.fires(FaultSite.CPU_READ):
+            k.flat[0] += 1.0  # single bit-flip-equivalent perturbation
+        if _checksum(k, v) != self._checksums[key]:
+            raise ChunkCorruptionError(conv_id=key[0], chunk_index=key[1])
+
     def get(self, conv_id: int, chunk_index: int) -> Tuple[np.ndarray, np.ndarray]:
-        """Fetch a chunk's K/V data without removing it."""
-        return self._entries[(conv_id, chunk_index)]
+        """Fetch a chunk's K/V data without removing it.
+
+        Raises:
+            ChunkCorruptionError: if the chunk fails its checksum (the
+                entry stays in the store so recovery can invalidate it
+                through the normal eviction path).
+        """
+        key = (conv_id, chunk_index)
+        self._verify(key)
+        return self._entries[key]
 
     def pop(self, conv_id: int, chunk_index: int) -> Tuple[np.ndarray, np.ndarray]:
-        """Remove and return a chunk's K/V data."""
+        """Remove and return a chunk's K/V data.
+
+        Raises:
+            ChunkCorruptionError: if the chunk fails its checksum; the
+                entry is retained so the caller's recovery can drop it
+                via the cache manager's invalidation path.
+        """
         key = (conv_id, chunk_index)
+        self._verify(key)
         data = self._entries.pop(key)
+        self._checksums.pop(key)
         self.used_tokens -= self._tokens.pop(key)
         return data
 
@@ -142,6 +190,7 @@ class CpuChunkStore:
         """Discard a chunk (CPU-tier eviction)."""
         key = (conv_id, chunk_index)
         del self._entries[key]
+        self._checksums.pop(key)
         self.used_tokens -= self._tokens.pop(key)
 
     def contains(self, conv_id: int, chunk_index: int) -> bool:

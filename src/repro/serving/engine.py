@@ -55,6 +55,9 @@ class EngineBase:
         self.config = config or BatchConfig()
         self.wait_queue: Deque[Request] = deque()
         self.running: List[Request] = []
+        #: Requests that failed individually after exhausting fault
+        #: retries; the batch they rode in keeps running without them.
+        self.failed: List[Request] = []
         self.metrics = MetricsCollector()
         self.trace = TraceRecorder(keep_events=keep_trace)
         #: Called as ``on_finish(request, now)`` when a request completes;
@@ -86,6 +89,35 @@ class EngineBase:
     @property
     def num_waiting(self) -> int:
         return len(self.wait_queue)
+
+    @property
+    def num_failed(self) -> int:
+        return len(self.failed)
+
+    def _fail_request(self, request: Request, now: float, reason: str) -> None:
+        """Degrade one request after its retries are exhausted.
+
+        The request leaves the scheduler with a structured trace record
+        and counts toward ``degraded_requests``; every other request —
+        running or waiting — is untouched.
+        """
+        request.state = RequestState.FAILED
+        request.finish_time = now
+        if request in self.running:
+            self.running.remove(request)
+        try:
+            self.wait_queue.remove(request)
+        except ValueError:
+            pass
+        self.failed.append(request)
+        self.metrics.faults.degraded_requests += 1
+        self._on_fail(request, now)
+        self.trace.record(
+            now, "request_fault", request_id=request.request_id, reason=reason
+        )
+
+    def _on_fail(self, request: Request, now: float) -> None:
+        """Release engine-specific state of a failed request (hook)."""
 
     # ------------------------------------------------------------------
     # The serving loop

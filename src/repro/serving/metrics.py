@@ -4,6 +4,11 @@ Following the paper (§6.1): *serving throughput* (completed requests per
 second) and *normalized latency* (end-to-end request latency divided by the
 number of output tokens), reported as the mean (Figure 10 caption) and the
 90th percentile (the "Performance Metric" paragraph).
+
+Fault-injection runs additionally report degradation counters
+(:class:`~repro.faults.FaultCounters`, re-exported here): swap-in/out
+failures, recompute fallbacks, retries and individually-degraded requests,
+so benchmarks can quantify the overhead of graceful degradation.
 """
 
 from __future__ import annotations
@@ -13,7 +18,15 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.faults.plan import FaultCounters
 from repro.serving.request import Request
+
+__all__ = [
+    "FaultCounters",
+    "MetricsCollector",
+    "RequestRecord",
+    "ServingStats",
+]
 
 
 @dataclass(frozen=True)
@@ -82,6 +95,9 @@ class MetricsCollector:
 
     def __init__(self) -> None:
         self._records: List[RequestRecord] = []
+        #: Degradation counters maintained by the engine's fault-recovery
+        #: paths; all-zero when no fault plan is armed.
+        self.faults = FaultCounters()
 
     def complete(self, request: Request) -> RequestRecord:
         """Record a finished request.

@@ -22,6 +22,7 @@ class RequestState(enum.Enum):
     RUNNING = "running"      #: member of the running batch.
     SUSPENDED = "suspended"  #: preempted; KV swapped out / discarded.
     FINISHED = "finished"    #: all output tokens emitted.
+    FAILED = "failed"        #: degraded individually after exhausting retries.
 
 
 @dataclass(frozen=True)

@@ -260,6 +260,37 @@ class TestAppendTokens:
         with pytest.raises(CacheCapacityError):
             mgr.append_tokens(1, 10)
 
+    def test_refused_growth_is_atomic(self):
+        """Regression: a refused append used to *partially* reclaim other
+        conversations before raising, leaving chunks evicted by an
+        operation that reported failure.  The capacity check must come
+        before any state mutation."""
+        mgr = make_manager(gpu=128, cpu=4096)
+        finish_conversation(mgr, 1, 96, now=0.0)
+        mgr.swap_out(64, now=1.0)  # conv 1: 32 GPU + 64 GPU_CPU (reclaimable)
+        mgr.open(2, 2.0)
+        mgr.commit_restore(mgr.plan_restore(2, 30), now=2.0)
+        before = {
+            "gpu_resident": mgr.gpu_resident_tokens,
+            "reclaimable": mgr.reclaimable_tokens,
+            "conv1_gpu_cpu": mgr.conversation(1).tokens_in(ChunkLocation.GPU_CPU),
+            "conv1_gpu": mgr.conversation(1).tokens_in(ChunkLocation.GPU),
+        }
+        # Deficit 78 exceeds the 64 reclaimable tokens: must refuse.
+        with pytest.raises(CacheCapacityError):
+            mgr.append_tokens(2, 80)
+        assert mgr.gpu_resident_tokens == before["gpu_resident"]
+        assert mgr.reclaimable_tokens == before["reclaimable"]
+        cache = mgr.conversation(1)
+        assert cache.tokens_in(ChunkLocation.GPU_CPU) == before["conv1_gpu_cpu"]
+        assert cache.tokens_in(ChunkLocation.GPU) == before["conv1_gpu"]
+        assert mgr.conversation(2).total_tokens == 30
+        mgr._audit()
+        # The same growth succeeds once it fits the reclaimable budget.
+        mgr.append_tokens(2, 60)
+        assert mgr.conversation(2).total_tokens == 90
+        mgr._audit()
+
 
 class TestEnsureCapacity:
     def test_noop_when_space_available(self):

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.faults import FaultCounters
 from repro.serving import Conversation, MetricsCollector, Request, Turn
 
 
@@ -89,3 +90,32 @@ class TestStats:
         d = collector.stats().as_dict()
         assert d["num_requests"] == 1
         assert "p90_norm_latency_ms" in d
+
+
+class TestFaultCounters:
+    def test_collector_carries_fault_counters(self):
+        collector = MetricsCollector()
+        assert isinstance(collector.faults, FaultCounters)
+        assert collector.faults.total == 0
+
+    def test_counters_accumulate_independently_of_records(self):
+        collector = MetricsCollector()
+        collector.faults.retries += 2
+        collector.faults.swap_in_failures += 1
+        collector.faults.recompute_fallbacks += 1
+        assert collector.faults.total == 4
+        assert len(collector) == 0  # request records are untouched
+
+    def test_as_dict_snapshot(self):
+        collector = MetricsCollector()
+        collector.faults.degraded_requests = 3
+        d = collector.faults.as_dict()
+        assert d["degraded_requests"] == 3
+        # A snapshot, not a live view.
+        collector.faults.degraded_requests = 5
+        assert d["degraded_requests"] == 3
+
+    def test_fresh_collectors_do_not_share_counters(self):
+        a, b = MetricsCollector(), MetricsCollector()
+        a.faults.retries = 7
+        assert b.faults.retries == 0

@@ -53,6 +53,40 @@ class TestSimulate:
         assert "vLLM" in out
         assert "cache         :" not in out
 
+    def test_fault_seed_arms_injection(self, capsys):
+        rc = main(
+            [
+                "simulate", "--system", "pensieve", "--model", "opt-13b",
+                "--rate", "2", "--duration", "40", "--seed", "3",
+                "--fault-seed", "11", "--fault-rate", "0.05",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "faults        :" in out
+        assert "retries" in out
+        assert "degraded      :" in out
+
+    def test_no_fault_seed_no_fault_lines(self, capsys):
+        rc = main(
+            [
+                "simulate", "--system", "pensieve", "--model", "opt-13b",
+                "--rate", "2", "--duration", "40", "--seed", "3",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "faults        :" not in out
+
+    def test_fault_seed_rejected_for_stateless_systems(self):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "simulate", "--system", "vllm", "--model", "opt-13b",
+                    "--rate", "2", "--duration", "20", "--fault-seed", "1",
+                ]
+            )
+
     def test_model_name_normalisation(self, capsys):
         rc = main(
             [
