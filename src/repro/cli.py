@@ -7,7 +7,10 @@ Run as ``python -m repro <command>``:
   and cache statistics;
 - ``sweep``     — a latency–throughput curve for one system;
 - ``figures``   — the fast analytical figures (3, 4, 12) and Table 2;
-- ``report``    — regenerate EXPERIMENTS.md (slow: full serving sweeps).
+- ``report``    — regenerate EXPERIMENTS.md (slow: full serving sweeps);
+- ``bench``     — the kernel/forward-pass performance harness: times the
+  vectorized layer against the per-request reference kernels, writes
+  ``BENCH_kernels.json``, exits non-zero if outputs diverge.
 """
 
 from __future__ import annotations
@@ -186,6 +189,20 @@ def cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import format_table, run_all, write_json
+
+    results = run_all(quick=args.quick, seed=args.seed, repeats=args.repeats)
+    print(format_table(results))
+    if args.output:
+        write_json(results, args.output, quick=args.quick, seed=args.seed)
+        print(f"\nwrote {args.output}")
+    if not all(x.equivalent for x in results):
+        print("ERROR: vectorized kernels diverged from the reference", flush=True)
+        return 1
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import generate
 
@@ -240,6 +257,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     figures = sub.add_parser("figures", help="fast analytical figures")
     figures.set_defaults(func=cmd_figures)
+
+    bench = sub.add_parser(
+        "bench", help="kernel/forward-pass performance benchmark"
+    )
+    bench.add_argument("--quick", action="store_true",
+                       help="small sizes / few repeats (CI smoke mode)")
+    bench.add_argument("--output", default="BENCH_kernels.json",
+                       help="JSON output path ('' to skip writing)")
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--repeats", type=int, default=None,
+                       help="override per-scenario repeat count")
+    bench.set_defaults(func=cmd_bench)
 
     report = sub.add_parser("report", help="regenerate EXPERIMENTS.md (slow)")
     report.add_argument("--output", default="EXPERIMENTS.md")

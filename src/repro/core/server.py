@@ -67,6 +67,10 @@ class StatefulChatServer:
             server recovers along the retry → recompute-fallback →
             per-request-failure ladder, counting into ``fault_counters``.
         retry_policy: bounded-backoff budget for transient faults.
+        verify_on_read: re-check CPU-store chunk CRCs on every read
+            (default on; the benchmark harness turns it off to price it).
+        use_fast_paths: dispatch forward passes through the vectorized
+            kernel layer (default on; off = per-layer tiled baseline).
     """
 
     def __init__(
@@ -82,6 +86,8 @@ class StatefulChatServer:
         max_conversations: int = 64,
         fault_plan: Optional[FaultPlan] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        verify_on_read: bool = True,
+        use_fast_paths: bool = True,
     ) -> None:
         if chunk_size % page_size != 0:
             raise ValueError(
@@ -106,8 +112,14 @@ class StatefulChatServer:
         #: Structured errors of individually-failed requests, in order.
         self.failures: List[RequestFaultedError] = []
         self.storage = KVStorage(self.config, num_slots=pool_tokens)
-        self.cpu_store = CpuChunkStore(cpu_capacity_tokens, fault_plan=fault_plan)
-        self.model = PagedTransformer(self.config, self.storage, seed=seed)
+        self.cpu_store = CpuChunkStore(
+            cpu_capacity_tokens,
+            fault_plan=fault_plan,
+            verify_on_read=verify_on_read,
+        )
+        self.model = PagedTransformer(
+            self.config, self.storage, seed=seed, use_fast_paths=use_fast_paths
+        )
         self.tokenizer = tokenizer or SimpleTokenizer(self.config.vocab_size)
         self.manager = TwoTierCacheManager(
             gpu_capacity_tokens=gpu_capacity_tokens,

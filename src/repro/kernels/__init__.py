@@ -19,22 +19,38 @@ the paper discusses:
 - :mod:`~repro.kernels.subrequests` — the Figure 8(d) splitting of a
   request whose query tokens occupy two disconnected context ranges
   (recomputed dropped prefix + new prompt) into sub-requests that share
-  the underlying context.
+  the underlying context;
+- :mod:`~repro.kernels.batched` — the **performance layer**:
+  :func:`~repro.kernels.batched.batched_single_token_attention` packs a
+  whole decode batch into one flat gather + segmented reductions, and
+  :func:`~repro.kernels.batched.vectorized_multi_token_attention` serves
+  ragged prefill/mixed batches with one gather per request, zero-copy GQA
+  broadcasting and a single-pass small-context fast path.  Both are
+  verified (~1e-6) against the per-request kernels above, which remain
+  the correctness oracle.
 """
 
 from repro.kernels.request import AttentionRequest
-from repro.kernels.reference import reference_attention
+from repro.kernels.reference import reference_attention, resolve_scale
 from repro.kernels.multi_token import multi_token_attention
 from repro.kernels.single_token import single_token_attention
+from repro.kernels.batched import (
+    batched_single_token_attention,
+    vectorized_multi_token_attention,
+)
 from repro.kernels.strawmen import copyout_attention, multiround_attention
-from repro.kernels.subrequests import split_disjoint_query
+from repro.kernels.subrequests import disjoint_query_spans, split_disjoint_query
 
 __all__ = [
     "AttentionRequest",
     "reference_attention",
+    "resolve_scale",
     "multi_token_attention",
     "single_token_attention",
+    "batched_single_token_attention",
+    "vectorized_multi_token_attention",
     "copyout_attention",
     "multiround_attention",
+    "disjoint_query_spans",
     "split_disjoint_query",
 ]

@@ -30,7 +30,7 @@ from typing import List, Sequence
 
 import numpy as np
 
-from repro.kernels.reference import gqa_expand
+from repro.kernels.reference import gqa_expand, resolve_scale
 from repro.kernels.request import AttentionRequest
 
 #: Context tile width: how many KV-tokens one "thread block" loads at a
@@ -66,6 +66,10 @@ def multi_token_attention(
         )
     if tile <= 0:
         raise ValueError(f"tile must be positive, got {tile}")
+    # The head dimension is fixed by the cache shape, so the default scale
+    # is resolved once at the batch level; ``_attend_one`` receives the
+    # concrete value and never reinterprets its parameter.
+    scale = resolve_scale(scale, k_cache.shape[2])
     outputs: List[np.ndarray] = []
     for request in requests:
         outputs.append(
@@ -86,8 +90,6 @@ def _attend_one(
     head_dim = request.head_dim
     if q_len == 0:
         return np.zeros((0, num_heads, head_dim), dtype=k_cache.dtype)
-    if scale == 0.0:
-        scale = 1.0 / np.sqrt(head_dim)
 
     # A query token never attends beyond its own position, so only the
     # first ``visible`` context tokens matter for this request.

@@ -11,6 +11,18 @@ from __future__ import annotations
 import numpy as np
 
 
+def resolve_scale(scale: float, head_dim: int) -> float:
+    """Resolve the ``scale == 0.0`` "use the default" sentinel.
+
+    Every kernel accepts ``scale=0.0`` to mean ``1/sqrt(head_dim)``.  The
+    batch-level entry points resolve the sentinel **once** (the head
+    dimension is fixed by the cache shape for the whole batch) and pass
+    the concrete value down, so per-request helpers never reinterpret —
+    or mutate — their ``scale`` argument.
+    """
+    return scale if scale != 0.0 else 1.0 / float(np.sqrt(head_dim))
+
+
 def gqa_expand(kv: np.ndarray, num_heads: int) -> np.ndarray:
     """Broadcast ``[tokens, kv_heads, dim]`` to ``[tokens, num_heads, dim]``.
 
@@ -58,8 +70,7 @@ def reference_attention(
             f"query range [{query_offset}, {query_offset + q_len}) outside "
             f"context of {ctx} tokens"
         )
-    if scale == 0.0:
-        scale = 1.0 / np.sqrt(head_dim)
+    scale = resolve_scale(scale, head_dim)
 
     k = gqa_expand(key, num_heads)
     v = gqa_expand(value, num_heads)

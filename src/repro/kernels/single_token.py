@@ -16,7 +16,7 @@ from typing import List, Sequence
 
 import numpy as np
 
-from repro.kernels.reference import gqa_expand
+from repro.kernels.reference import gqa_expand, resolve_scale
 from repro.kernels.request import AttentionRequest
 
 
@@ -43,6 +43,9 @@ def single_token_attention(
         ValueError: if any request has more than one query token (that is
             precisely the case this kernel cannot handle, §3.2).
     """
+    # The head dimension is fixed by the cache shape, so the default scale
+    # is resolved once for the whole batch (never per request).
+    s = resolve_scale(scale, k_cache.shape[2])
     outputs: List[np.ndarray] = []
     for request in requests:
         if request.num_query_tokens != 1:
@@ -55,8 +58,6 @@ def single_token_attention(
                 "single-token attention assumes the query is the newest "
                 "context token"
             )
-        head_dim = request.head_dim
-        s = scale if scale != 0.0 else 1.0 / np.sqrt(head_dim)
         slots = np.asarray(request.slots, dtype=np.int64)
         k = gqa_expand(k_cache[slots], request.num_heads)  # [ctx, H, d]
         v = gqa_expand(v_cache[slots], request.num_heads)

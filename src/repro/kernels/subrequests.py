@@ -17,11 +17,58 @@ auxiliary indices change — no KV data moves.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
 from repro.kernels.request import AttentionRequest
+
+
+def disjoint_query_spans(
+    num_query: int,
+    total: int,
+    dropped: int,
+    shared_prefix: int = 0,
+) -> List[Tuple[int, int, int, int]]:
+    """Structural part of :func:`split_disjoint_query`.
+
+    The split depends only on the request's *shape* (token counts), never
+    on the query values, so callers running the same request through many
+    layers can compute it once and re-slice each layer's query tensor.
+
+    Returns:
+        A list of ``(q_lo, q_hi, context_end, query_offset)`` spans: the
+        sub-request covers query rows ``[q_lo, q_hi)``, attends to the
+        first ``context_end`` context slots, and its first query token
+        sits at logical position ``query_offset``.
+
+    Raises:
+        ValueError: on inconsistent sizes.
+    """
+    if dropped < 0:
+        raise ValueError(f"dropped must be non-negative, got {dropped}")
+    if shared_prefix < 0:
+        raise ValueError(f"shared_prefix must be non-negative, got {shared_prefix}")
+    if dropped > num_query:
+        raise ValueError(
+            f"dropped ({dropped}) exceeds query tokens ({num_query})"
+        )
+    new_prompt = num_query - dropped
+    cached = total - num_query - shared_prefix
+    if cached < 0:
+        raise ValueError(
+            f"query tokens ({num_query}) plus shared prefix "
+            f"({shared_prefix}) exceed context length ({total})"
+        )
+    spans: List[Tuple[int, int, int, int]] = []
+    if dropped > 0:
+        # Sub-request 1: the dropped prefix attends to the shared state
+        # and to itself only.
+        spans.append((0, dropped, shared_prefix + dropped, shared_prefix))
+    if new_prompt > 0:
+        # Sub-request 2: the new prompt attends to the entire context.
+        spans.append((dropped, num_query, total, total - new_prompt))
+    return spans
 
 
 def split_disjoint_query(
@@ -52,41 +99,13 @@ def split_disjoint_query(
     Raises:
         ValueError: on inconsistent sizes.
     """
-    total = len(slots)
-    num_query = query.shape[0]
-    if dropped < 0:
-        raise ValueError(f"dropped must be non-negative, got {dropped}")
-    if shared_prefix < 0:
-        raise ValueError(f"shared_prefix must be non-negative, got {shared_prefix}")
-    if dropped > num_query:
-        raise ValueError(
-            f"dropped ({dropped}) exceeds query tokens ({num_query})"
+    return [
+        AttentionRequest(
+            query=query[q_lo:q_hi],
+            slots=list(slots[:context_end]),
+            query_offset=query_offset,
         )
-    new_prompt = num_query - dropped
-    cached = total - num_query - shared_prefix
-    if cached < 0:
-        raise ValueError(
-            f"query tokens ({num_query}) plus shared prefix "
-            f"({shared_prefix}) exceed context length ({total})"
+        for q_lo, q_hi, context_end, query_offset in disjoint_query_spans(
+            query.shape[0], len(slots), dropped, shared_prefix=shared_prefix
         )
-    subrequests: List[AttentionRequest] = []
-    if dropped > 0:
-        # Sub-request 1: the dropped prefix attends to the shared state
-        # and to itself only.
-        subrequests.append(
-            AttentionRequest(
-                query=query[:dropped],
-                slots=list(slots[: shared_prefix + dropped]),
-                query_offset=shared_prefix,
-            )
-        )
-    if new_prompt > 0:
-        # Sub-request 2: the new prompt attends to the entire context.
-        subrequests.append(
-            AttentionRequest(
-                query=query[dropped:],
-                slots=list(slots),
-                query_offset=total - new_prompt,
-            )
-        )
-    return subrequests
+    ]

@@ -104,15 +104,25 @@ class CpuChunkStore:
     detected before the data can reach GPU pages.  Capacity is expressed
     in tokens; callers are responsible for making room (the two-tier
     manager drops chunks by policy before inserting).
+
+    ``verify_on_read=False`` skips the per-read CRC re-check (checksums
+    are still computed at insertion), trading integrity detection for
+    read bandwidth — the benchmark harness uses it to price the check.
+    Chaos/fault testing keeps the default ``True``: the ``CPU_READ``
+    fault site lives inside the verification path.
     """
 
     def __init__(
-        self, capacity_tokens: int, fault_plan: Optional[FaultPlan] = None
+        self,
+        capacity_tokens: int,
+        fault_plan: Optional[FaultPlan] = None,
+        verify_on_read: bool = True,
     ) -> None:
         if capacity_tokens < 0:
             raise ValueError(f"capacity_tokens must be >= 0, got {capacity_tokens}")
         self.capacity_tokens = capacity_tokens
         self.fault_plan = fault_plan
+        self.verify_on_read = verify_on_read
         self._entries: Dict[Tuple[int, int], Tuple[np.ndarray, np.ndarray]] = {}
         self._tokens: Dict[Tuple[int, int], int] = {}
         self._checksums: Dict[Tuple[int, int], int] = {}
@@ -168,7 +178,8 @@ class CpuChunkStore:
                 through the normal eviction path).
         """
         key = (conv_id, chunk_index)
-        self._verify(key)
+        if self.verify_on_read:
+            self._verify(key)
         return self._entries[key]
 
     def pop(self, conv_id: int, chunk_index: int) -> Tuple[np.ndarray, np.ndarray]:
@@ -180,7 +191,8 @@ class CpuChunkStore:
                 via the cache manager's invalidation path.
         """
         key = (conv_id, chunk_index)
-        self._verify(key)
+        if self.verify_on_read:
+            self._verify(key)
         data = self._entries.pop(key)
         self._checksums.pop(key)
         self.used_tokens -= self._tokens.pop(key)

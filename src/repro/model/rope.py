@@ -6,11 +6,25 @@ appear as phase differences in the dot product.  Because the rotation is a
 function of *absolute position*, cached K rows remain valid after being
 swapped out and back in — position never changes — which is what lets
 Pensieve reuse KV-tokens across requests without re-rotation.
+
+The sin/cos tables depend only on ``(head_dim, base)`` and the largest
+position ever seen, so they are cached at module level and grown on demand
+rather than rebuilt (``np.outer`` + trig) on every :func:`apply_rope` call
+— the tables are read every layer of every forward pass.
 """
 
 from __future__ import annotations
 
+from typing import Dict, Tuple
+
 import numpy as np
+
+#: Module-level sin/cos tables keyed by ``(head_dim, base)``; each value
+#: is ``(cos, sin)`` of shape ``[max_position + 1, head_dim // 2]``.
+_TABLE_CACHE: Dict[Tuple[int, float], Tuple[np.ndarray, np.ndarray]] = {}
+
+#: Initial table height; tables double until they cover the request.
+_MIN_TABLE = 256
 
 
 def rope_frequencies(head_dim: int, base: float = 10000.0) -> np.ndarray:
@@ -19,6 +33,34 @@ def rope_frequencies(head_dim: int, base: float = 10000.0) -> np.ndarray:
         raise ValueError(f"head_dim must be even for RoPE, got {head_dim}")
     exponents = np.arange(0, head_dim, 2) / head_dim
     return base ** (-exponents)
+
+
+def clear_rope_cache() -> None:
+    """Drop all cached sin/cos tables (test isolation hook)."""
+    _TABLE_CACHE.clear()
+
+
+def rope_tables(
+    head_dim: int, base: float = 10000.0, max_position: int = 0
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Cached ``(cos, sin)`` tables covering positions ``[0, max_position]``.
+
+    Tables are grown geometrically: a request beyond the current height
+    rebuilds the entry at at least double its size, so amortised cost per
+    call is O(1).  Entries are keyed by ``(head_dim, base)``.  The returned
+    arrays are shared — callers must not write to them.
+    """
+    key = (head_dim, float(base))
+    entry = _TABLE_CACHE.get(key)
+    if entry is None or entry[0].shape[0] <= max_position:
+        height = _MIN_TABLE if entry is None else entry[0].shape[0]
+        while height <= max_position:
+            height *= 2
+        freqs = rope_frequencies(head_dim, base)  # [dim/2]
+        angles = np.arange(height)[:, None].astype(np.float64) * freqs[None, :]
+        entry = (np.cos(angles), np.sin(angles))
+        _TABLE_CACHE[key] = entry
+    return entry
 
 
 def apply_rope(x: np.ndarray, positions: np.ndarray, base: float = 10000.0) -> np.ndarray:
@@ -38,10 +80,22 @@ def apply_rope(x: np.ndarray, positions: np.ndarray, base: float = 10000.0) -> n
         raise ValueError(
             f"positions ({positions.shape[0]}) must match tokens ({x.shape[0]})"
         )
-    freqs = rope_frequencies(x.shape[-1], base)  # [dim/2]
-    angles = positions[:, None].astype(np.float64) * freqs[None, :]  # [t, dim/2]
-    cos = np.cos(angles)[:, None, :]  # [t, 1, dim/2]
-    sin = np.sin(angles)[:, None, :]
+    if (
+        positions.shape[0]
+        and np.issubdtype(positions.dtype, np.integer)
+        and int(positions.min()) >= 0
+    ):
+        max_position = int(positions.max())
+        cos_table, sin_table = rope_tables(x.shape[-1], base, max_position)
+        cos = cos_table[positions][:, None, :]  # [t, 1, dim/2]
+        sin = sin_table[positions][:, None, :]
+    else:
+        # Non-integer, negative, or empty positions bypass the cache; the
+        # table only covers whole non-negative token positions.
+        freqs = rope_frequencies(x.shape[-1], base)  # [dim/2]
+        angles = positions[:, None].astype(np.float64) * freqs[None, :]
+        cos = np.cos(angles)[:, None, :]
+        sin = np.sin(angles)[:, None, :]
     x_even = x[..., 0::2]
     x_odd = x[..., 1::2]
     out = np.empty_like(x)

@@ -26,7 +26,14 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.kernels import multi_token_attention, split_disjoint_query
+from repro.kernels import (
+    AttentionRequest,
+    batched_single_token_attention,
+    disjoint_query_spans,
+    multi_token_attention,
+    split_disjoint_query,
+    vectorized_multi_token_attention,
+)
 from repro.kvcache.storage import KVStorage
 from repro.model.config import ModelConfig
 from repro.model.layers import LayerNorm, Linear, OptMlp, RMSNorm, SwiGluMlp
@@ -91,6 +98,39 @@ class ForwardRequest:
 
 
 @dataclass
+class _RequestPlan:
+    """Per-batch precomputation for one request (layer-invariant).
+
+    Everything here depends only on the request's *shape* — slot lists,
+    sub-request spans, write targets — so it is computed once per forward
+    pass instead of once per layer (the seed implementation re-derived all
+    of it ``num_layers`` times).
+    """
+
+    write_slots: List[int]
+    #: ``(q_lo, q_hi, slots, query_offset)`` per Figure 8(d) sub-request.
+    spans: List[tuple]
+    #: True iff this request is a pure generation step (one trailing query
+    #: token, no recompute split) — eligible for the batched decode kernel.
+    decode_shaped: bool
+
+    @staticmethod
+    def build(request: "ForwardRequest") -> "_RequestPlan":
+        slots = list(request.context_slots)
+        spans = [
+            (q_lo, q_hi, slots[:context_end], query_offset)
+            for q_lo, q_hi, context_end, query_offset in disjoint_query_spans(
+                request.num_new_tokens,
+                len(slots),
+                request.dropped,
+                shared_prefix=request.shared_prefix,
+            )
+        ]
+        decode_shaped = request.num_new_tokens == 1 and request.dropped == 0
+        return _RequestPlan(request.write_slots(), spans, decode_shaped)
+
+
+@dataclass
 class _LayerWeights:
     attn_norm: object
     q_proj: Linear
@@ -108,9 +148,20 @@ class PagedTransformer:
         config: model hyper-parameters (use the tiny presets for tests).
         storage: slot-indexed K/V arrays shared with the cache manager.
         seed: weight initialisation seed (deterministic).
+        use_fast_paths: dispatch to the vectorized kernel layer
+            (:mod:`repro.kernels.batched`) with per-batch hoisting of the
+            sub-request split and write-slot computation.  ``False`` runs
+            the original per-layer, per-request tiled path — kept as the
+            end-to-end baseline the benchmark harness measures against.
     """
 
-    def __init__(self, config: ModelConfig, storage: KVStorage, seed: int = 0) -> None:
+    def __init__(
+        self,
+        config: ModelConfig,
+        storage: KVStorage,
+        seed: int = 0,
+        use_fast_paths: bool = True,
+    ) -> None:
         if storage.config is not config and (
             storage.config.num_layers != config.num_layers
             or storage.config.num_kv_heads != config.num_kv_heads
@@ -119,6 +170,7 @@ class PagedTransformer:
             raise ValueError("storage shape does not match model config")
         self.config = config
         self.storage = storage
+        self.use_fast_paths = use_fast_paths
         rng = np.random.default_rng(seed)
         h = config.hidden_size
         kv = config.kv_dim
@@ -165,15 +217,19 @@ class PagedTransformer:
         """
         if not batch:
             return []
-        cfg = self.config
         # Unified batch formation (§4.4.1): concatenate all requests'
         # input tokens into one token-major activation tensor.
         hidden = [self._embed(r) for r in batch]
         x = np.concatenate(hidden, axis=0)  # [sum_n, h]
         bounds = np.cumsum([0] + [r.num_new_tokens for r in batch])
+        # Layer-invariant structure (sub-request spans, write slots) is
+        # derived once per batch, not once per layer.
+        plans = (
+            [_RequestPlan.build(r) for r in batch] if self.use_fast_paths else None
+        )
 
         for layer_idx, w in enumerate(self.layers):
-            x = x + self._attention_block(layer_idx, w, x, batch, bounds)
+            x = x + self._attention_block(layer_idx, w, x, batch, bounds, plans)
             x = x + w.mlp(w.mlp_norm(x))
 
         x = self.final_norm(x)
@@ -204,6 +260,7 @@ class PagedTransformer:
         x: np.ndarray,
         batch: Sequence[ForwardRequest],
         bounds: np.ndarray,
+        plans: Optional[List[_RequestPlan]] = None,
     ) -> np.ndarray:
         cfg = self.config
         normed = w.attn_norm(x)
@@ -220,23 +277,46 @@ class PagedTransformer:
             if cfg.arch == "llama":
                 q_i = apply_rope(q_i, request.positions)
                 k_i = apply_rope(k_i, request.positions)
-            # Figure 8 step (c): store the new tokens' K/V.
-            self.storage.write(layer_idx, request.write_slots(), k_i, v_i)
-            subs = split_disjoint_query(
-                q_i,
-                list(request.context_slots),
-                request.dropped,
-                shared_prefix=request.shared_prefix,
-            )
+            if plans is None:
+                # Reference path: re-derive the split and write targets
+                # per layer, exactly as the seed implementation did.
+                self.storage.write(layer_idx, request.write_slots(), k_i, v_i)
+                subs = split_disjoint_query(
+                    q_i,
+                    list(request.context_slots),
+                    request.dropped,
+                    shared_prefix=request.shared_prefix,
+                )
+            else:
+                plan = plans[i]
+                # Figure 8 step (c): store the new tokens' K/V.
+                self.storage.write(layer_idx, plan.write_slots, k_i, v_i)
+                subs = [
+                    AttentionRequest(
+                        query=q_i[q_lo:q_hi], slots=slots, query_offset=offset
+                    )
+                    for q_lo, q_hi, slots, offset in plan.spans
+                ]
             start = lo
             for sub in subs:
                 kernel_requests.append(sub)
                 owners.append(slice(start, start + sub.num_query_tokens))
                 start += sub.num_query_tokens
 
-        sub_outputs = multi_token_attention(
-            kernel_requests, self.storage.k[layer_idx], self.storage.v[layer_idx]
-        )
+        k_layer = self.storage.k[layer_idx]
+        v_layer = self.storage.v[layer_idx]
+        if plans is None:
+            sub_outputs = multi_token_attention(kernel_requests, k_layer, v_layer)
+        elif all(plan.decode_shaped for plan in plans):
+            # All-generation batch: one packed pass over the cache for the
+            # entire batch (vLLM's PagedAttention decode formulation).
+            sub_outputs = batched_single_token_attention(
+                kernel_requests, k_layer, v_layer
+            )
+        else:
+            sub_outputs = vectorized_multi_token_attention(
+                kernel_requests, k_layer, v_layer
+            )
         for region, out in zip(owners, sub_outputs):
             outputs[region] = out
         return w.o_proj(outputs.reshape(x.shape[0], -1))

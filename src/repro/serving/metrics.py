@@ -13,8 +13,9 @@ so benchmarks can quantify the overhead of graceful degradation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -26,7 +27,57 @@ __all__ = [
     "MetricsCollector",
     "RequestRecord",
     "ServingStats",
+    "StageTimings",
 ]
+
+
+@dataclass
+class StageTimings:
+    """Wall-clock accumulator for named serving stages.
+
+    Used by the performance harness (``repro bench``) to attribute real
+    elapsed time to pipeline stages (``prefill``, ``decode``, ``swap``,
+    ...) across repeated runs.  Unlike the simulation metrics above, these
+    are measured seconds, not modelled ones.
+
+    Usage::
+
+        timings = StageTimings()
+        with timings.stage("decode"):
+            model.forward(batch)
+    """
+
+    totals: Dict[str, float] = field(default_factory=dict)
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    def stage(self, name: str) -> "_StageContext":
+        return _StageContext(self, name)
+
+    def add(self, name: str, seconds: float) -> None:
+        self.totals[name] = self.totals.get(name, 0.0) + seconds
+        self.counts[name] = self.counts.get(name, 0) + 1
+
+    def mean(self, name: str) -> float:
+        """Mean seconds per recorded occurrence of ``name``."""
+        return self.totals[name] / self.counts[name]
+
+    def as_dict(self) -> Dict[str, float]:
+        """Total seconds per stage, stage names sorted."""
+        return {name: self.totals[name] for name in sorted(self.totals)}
+
+
+class _StageContext:
+    def __init__(self, timings: StageTimings, name: str) -> None:
+        self._timings = timings
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_StageContext":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._timings.add(self._name, time.perf_counter() - self._start)
 
 
 @dataclass(frozen=True)

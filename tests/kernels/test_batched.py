@@ -1,0 +1,199 @@
+"""Equivalence tests for the vectorized batched kernels.
+
+The batched/vectorized layer is a pure performance optimisation: every
+test here pins its outputs to the per-request kernels (the correctness
+oracle) across architectures, GQA ratios, ragged batches and sub-request
+splits.  ``repro bench`` measures the speed; these tests pin the math.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels import (
+    AttentionRequest,
+    batched_single_token_attention,
+    multi_token_attention,
+    reference_attention,
+    single_token_attention,
+    split_disjoint_query,
+    vectorized_multi_token_attention,
+)
+
+from tests.kernels.conftest import make_request, scatter_context
+
+TOL = dict(rtol=1e-9, atol=1e-9)
+
+
+def make_batch(rng, ctx_lens, q_lens=None, num_heads=4, kv_heads=4, head_dim=8):
+    """Disjoint scattered requests sharing one cache, plus logical K/V."""
+    num_slots = 3 * sum(ctx_lens)
+    k_cache = rng.standard_normal((num_slots, kv_heads, head_dim)) * 100
+    v_cache = rng.standard_normal((num_slots, kv_heads, head_dim)) * 100
+    perm = rng.permutation(num_slots)
+    requests, used = [], 0
+    q_lens = q_lens or [1] * len(ctx_lens)
+    for ctx, q_len in zip(ctx_lens, q_lens):
+        slots = list(perm[used : used + ctx])
+        used += ctx
+        k_cache[slots] = rng.standard_normal((ctx, kv_heads, head_dim))
+        v_cache[slots] = rng.standard_normal((ctx, kv_heads, head_dim))
+        query = rng.standard_normal((q_len, num_heads, head_dim))
+        requests.append(AttentionRequest(query=query, slots=slots))
+    return requests, k_cache, v_cache
+
+
+class TestBatchedSingleToken:
+    def test_matches_per_request_loop(self, rng):
+        requests, k_cache, v_cache = make_batch(rng, [17, 5, 33, 1])
+        batched = batched_single_token_attention(requests, k_cache, v_cache)
+        loop = single_token_attention(requests, k_cache, v_cache)
+        assert len(batched) == len(loop)
+        for got, want in zip(batched, loop):
+            np.testing.assert_allclose(got, want, **TOL)
+
+    def test_matches_multi_token_q1(self, rng):
+        """Decode is the q=1 special case of multi-token attention
+        (§4.4.1) for the batched kernel too."""
+        requests, k_cache, v_cache = make_batch(rng, [9, 24, 13])
+        batched = batched_single_token_attention(requests, k_cache, v_cache)
+        multi = multi_token_attention(requests, k_cache, v_cache)
+        for got, want in zip(batched, multi):
+            np.testing.assert_allclose(got, want, **TOL)
+
+    def test_matches_logical_reference(self, rng):
+        request, k_log, v_log, k_cache, v_cache = make_request(rng, q_len=1, ctx=27)
+        out = batched_single_token_attention([request], k_cache, v_cache)[0]
+        expected = reference_attention(request.query, k_log, v_log)
+        np.testing.assert_allclose(out, expected, **TOL)
+
+    @pytest.mark.parametrize("num_heads,kv_heads", [(8, 8), (8, 4), (8, 2), (8, 1)])
+    def test_gqa_ratios(self, rng, num_heads, kv_heads):
+        requests, k_cache, v_cache = make_batch(
+            rng, [12, 30, 7], num_heads=num_heads, kv_heads=kv_heads
+        )
+        batched = batched_single_token_attention(requests, k_cache, v_cache)
+        loop = single_token_attention(requests, k_cache, v_cache)
+        for got, want in zip(batched, loop):
+            np.testing.assert_allclose(got, want, **TOL)
+
+    def test_uniform_lengths(self, rng):
+        """Uniform-length batches take the no-mask fast path."""
+        requests, k_cache, v_cache = make_batch(rng, [16, 16, 16, 16])
+        batched = batched_single_token_attention(requests, k_cache, v_cache)
+        loop = single_token_attention(requests, k_cache, v_cache)
+        for got, want in zip(batched, loop):
+            np.testing.assert_allclose(got, want, **TOL)
+
+    def test_explicit_scale(self, rng):
+        requests, k_cache, v_cache = make_batch(rng, [8, 19])
+        batched = batched_single_token_attention(
+            requests, k_cache, v_cache, scale=0.3
+        )
+        loop = single_token_attention(requests, k_cache, v_cache, scale=0.3)
+        for got, want in zip(batched, loop):
+            np.testing.assert_allclose(got, want, **TOL)
+
+    def test_empty_batch(self, rng):
+        k_cache = rng.standard_normal((4, 2, 8))
+        assert batched_single_token_attention([], k_cache, k_cache) == []
+
+    def test_rejects_multi_token_requests(self, rng):
+        request, _, _, k_cache, v_cache = make_request(rng, q_len=3, ctx=10)
+        with pytest.raises(ValueError, match="exactly one query token"):
+            batched_single_token_attention([request], k_cache, v_cache)
+
+    def test_rejects_interior_query(self, rng):
+        request, _, _, k_cache, v_cache = make_request(
+            rng, q_len=1, ctx=10, query_offset=4
+        )
+        with pytest.raises(ValueError, match="newest"):
+            batched_single_token_attention([request], k_cache, v_cache)
+
+    def test_rejects_heterogeneous_heads(self, rng):
+        req_a, _, _, k_cache, v_cache = make_request(
+            rng, q_len=1, ctx=6, num_heads=4, kv_heads=4, num_slots=64
+        )
+        query_b = np.zeros((1, 8, 8))
+        req_b = AttentionRequest(query=query_b, slots=[s + 1 for s in req_a.slots[:3]])
+        with pytest.raises(ValueError, match="heterogeneous"):
+            batched_single_token_attention([req_a, req_b], k_cache, v_cache)
+
+
+class TestVectorizedMultiToken:
+    @pytest.mark.parametrize("num_heads,kv_heads", [(4, 4), (8, 2), (8, 1)])
+    def test_matches_tiled(self, rng, num_heads, kv_heads):
+        requests, k_cache, v_cache = make_batch(
+            rng,
+            ctx_lens=[40, 70, 12],
+            q_lens=[6, 33, 12],
+            num_heads=num_heads,
+            kv_heads=kv_heads,
+        )
+        fast = vectorized_multi_token_attention(requests, k_cache, v_cache)
+        tiled = multi_token_attention(requests, k_cache, v_cache)
+        for got, want in zip(fast, tiled):
+            np.testing.assert_allclose(got, want, **TOL)
+
+    def test_single_tile_fast_path(self, rng):
+        """Contexts below one tile take the non-tiled softmax path."""
+        requests, k_cache, v_cache = make_batch(rng, [20, 31], q_lens=[5, 31])
+        fast = vectorized_multi_token_attention(
+            requests, k_cache, v_cache, tile=64
+        )
+        tiled = multi_token_attention(requests, k_cache, v_cache, tile=8)
+        for got, want in zip(fast, tiled):
+            np.testing.assert_allclose(got, want, **TOL)
+
+    def test_tiled_path_matches_across_tile_sizes(self, rng):
+        requests, k_cache, v_cache = make_batch(rng, [100], q_lens=[37])
+        baseline = multi_token_attention(requests, k_cache, v_cache)[0]
+        for tile in (7, 16, 33, 128):
+            out = vectorized_multi_token_attention(
+                requests, k_cache, v_cache, tile=tile
+            )[0]
+            np.testing.assert_allclose(out, baseline, **TOL)
+
+    def test_causal_masking_matches_reference(self, rng):
+        """Partial-query (prefill continuation) masking is preserved."""
+        ctx, q_len = 24, 9
+        k_log, v_log, k_cache, v_cache, slots = scatter_context(
+            rng, ctx, kv_heads=4, head_dim=8, num_slots=96
+        )
+        query = rng.standard_normal((q_len, 4, 8))
+        request = AttentionRequest(query=query, slots=slots)
+        fast = vectorized_multi_token_attention([request], k_cache, v_cache)[0]
+        expected = reference_attention(query, k_log, v_log)
+        np.testing.assert_allclose(fast, expected, **TOL)
+
+    def test_decode_shape_matches_batched(self, rng):
+        """All three kernels agree on a q=1 batch."""
+        requests, k_cache, v_cache = make_batch(rng, [15, 28, 3])
+        fast = vectorized_multi_token_attention(requests, k_cache, v_cache)
+        batched = batched_single_token_attention(requests, k_cache, v_cache)
+        for got, want in zip(fast, batched):
+            np.testing.assert_allclose(got, want, **TOL)
+
+    def test_subrequest_split_equivalence(self, rng):
+        """Figure 8(d): attention over a split disjoint query is unchanged
+        when computed by the vectorized kernel."""
+        total, dropped, num_query = 40, 12, 20
+        k_log, v_log, k_cache, v_cache, slots = scatter_context(
+            rng, total, kv_heads=4, head_dim=8, num_slots=160
+        )
+        query = rng.standard_normal((num_query, 4, 8))
+        parts = split_disjoint_query(query, slots, dropped=dropped, shared_prefix=8)
+        tiled = multi_token_attention(parts, k_cache, v_cache)
+        fast = vectorized_multi_token_attention(parts, k_cache, v_cache)
+        for got, want in zip(fast, tiled):
+            np.testing.assert_allclose(got, want, **TOL)
+
+    def test_empty_query(self, rng):
+        request = AttentionRequest(query=np.zeros((0, 4, 8)), slots=[0, 1])
+        k_cache = rng.standard_normal((4, 4, 8))
+        out = vectorized_multi_token_attention([request], k_cache, k_cache)[0]
+        assert out.shape == (0, 4, 8)
+
+    def test_rejects_bad_tile(self, rng):
+        request, _, _, k_cache, v_cache = make_request(rng, q_len=2, ctx=6)
+        with pytest.raises(ValueError, match="tile"):
+            vectorized_multi_token_attention([request], k_cache, v_cache, tile=0)

@@ -3,7 +3,13 @@
 import numpy as np
 import pytest
 
-from repro.model.rope import apply_rope, rope_frequencies
+from repro.model.rope import (
+    _TABLE_CACHE,
+    apply_rope,
+    clear_rope_cache,
+    rope_frequencies,
+    rope_tables,
+)
 
 
 @pytest.fixture
@@ -70,3 +76,63 @@ class TestApplyRope:
             apply_rope(rng.standard_normal((2, 4)), np.array([0, 1]))
         with pytest.raises(ValueError):
             apply_rope(rng.standard_normal((2, 1, 4)), np.array([0]))
+
+
+class TestTableCache:
+    def setup_method(self):
+        clear_rope_cache()
+
+    def teardown_method(self):
+        clear_rope_cache()
+
+    def test_cached_matches_direct_computation(self, rng):
+        """Table-cached rotation is bitwise identical to computing the
+        angles directly — integer positions hit the same float ops."""
+        x = rng.standard_normal((6, 2, 8))
+        positions = np.array([0, 3, 17, 255, 256, 1000])
+        cached = apply_rope(x, positions)
+        clear_rope_cache()
+        direct_angles = positions[:, None].astype(np.float64) * rope_frequencies(8)
+        cos = np.cos(direct_angles)[:, None, :]
+        sin = np.sin(direct_angles)[:, None, :]
+        expected = np.empty_like(x)
+        expected[..., 0::2] = x[..., 0::2] * cos - x[..., 1::2] * sin
+        expected[..., 1::2] = x[..., 0::2] * sin + x[..., 1::2] * cos
+        np.testing.assert_array_equal(cached, expected)
+
+    def test_grows_geometrically(self):
+        cos, _ = rope_tables(8, max_position=10)
+        assert cos.shape[0] == 256  # _MIN_TABLE
+        cos, _ = rope_tables(8, max_position=256)
+        assert cos.shape[0] == 512
+        cos, _ = rope_tables(8, max_position=2000)
+        assert cos.shape[0] == 2048
+        # Shrinking requests reuse the grown table.
+        cos_again, _ = rope_tables(8, max_position=5)
+        assert cos_again is cos
+
+    def test_keyed_by_dim_and_base(self):
+        rope_tables(8, max_position=1)
+        rope_tables(8, base=500.0, max_position=1)
+        rope_tables(4, max_position=1)
+        assert set(_TABLE_CACHE) == {(8, 10000.0), (8, 500.0), (4, 10000.0)}
+
+    def test_clear(self):
+        rope_tables(8, max_position=1)
+        assert _TABLE_CACHE
+        clear_rope_cache()
+        assert not _TABLE_CACHE
+
+    def test_negative_positions_bypass_cache(self, rng):
+        """Negative offsets (not valid token positions) still rotate
+        correctly via the direct path and never populate the cache."""
+        x = rng.standard_normal((2, 1, 8))
+        out = apply_rope(x, np.array([-4, -1]))
+        assert not _TABLE_CACHE
+        assert np.isfinite(out).all()
+
+    def test_float_positions_match_integer(self, rng):
+        x = rng.standard_normal((3, 1, 8))
+        via_cache = apply_rope(x, np.array([1, 7, 30]))
+        direct = apply_rope(x, np.array([1.0, 7.0, 30.0]))
+        np.testing.assert_allclose(via_cache, direct, atol=1e-12)

@@ -12,11 +12,17 @@ class TestParser:
 
     def test_all_commands_registered(self):
         parser = build_parser()
-        for command in ("chat", "simulate", "sweep", "figures", "report"):
+        for command in ("chat", "simulate", "sweep", "figures", "bench", "report"):
             args = parser.parse_args(
                 [command] if command != "report" else [command, "--output", "x.md"]
             )
             assert args.command == command
+
+    def test_bench_defaults(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.output == "BENCH_kernels.json"
+        assert args.quick is False
+        assert args.repeats is None
 
     def test_unknown_model_rejected(self):
         with pytest.raises(SystemExit):
@@ -110,6 +116,29 @@ class TestSweep:
         out = capsys.readouterr().out
         assert "tensorrt-llm / OPT-13B" in out
         assert "thr(req/s)" in out
+
+
+class TestBench:
+    def test_quick_bench_writes_json_and_passes(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "BENCH_kernels.json"
+        rc = main(
+            ["bench", "--quick", "--repeats", "1", "--output", str(out_path)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "decode/" in out and "e2e/" in out
+        payload = json.loads(out_path.read_text())
+        assert payload["summary"]["all_equivalent"] is True
+        assert payload["quick"] is True
+        assert all(x["equivalent"] for x in payload["results"])
+
+    def test_empty_output_skips_writing(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        rc = main(["bench", "--quick", "--repeats", "1", "--output", ""])
+        assert rc == 0
+        assert not list(tmp_path.iterdir())
 
 
 class TestFigures:
