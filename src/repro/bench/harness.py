@@ -369,16 +369,37 @@ def bench_crc_verification(
 # ----------------------------------------------------------------------
 
 
-def run_all(quick: bool = False, seed: int = 0, repeats: Optional[int] = None) -> List[BenchResult]:
+def run_all(
+    quick: bool = False,
+    seed: int = 0,
+    repeats: Optional[int] = None,
+    tracer=None,
+) -> List[BenchResult]:
     """Run the benchmark suite and return results in deterministic order.
 
     ``quick`` shrinks sizes and repeat counts for the CI smoke job; the
     scenario *families* are identical in both modes so the JSON schema is
-    stable across PRs.
+    stable across PRs.  A :class:`repro.obs.Tracer` records one wall-clock
+    span per scenario (the bench is a real-time workload, so its trace
+    time axis is wall seconds).
     """
     r = repeats if repeats is not None else (5 if quick else 9)
     heads, head_dim = 8, 64
     results: List[BenchResult] = []
+
+    def run(fn: Callable[..., BenchResult], *fn_args, **fn_kwargs) -> BenchResult:
+        if tracer is None or not tracer.enabled:
+            return fn(*fn_args, **fn_kwargs)
+        t0 = time.perf_counter()
+        result = fn(*fn_args, **fn_kwargs)
+        t1 = time.perf_counter()
+        tracer.complete(
+            f"bench.{result.name}", t0, t1, track="bench",
+            family=result.family, speedup=round(result.speedup, 3),
+            equivalent=result.equivalent,
+        )
+        tracer.count("bench.scenarios")
+        return result
 
     # --- decode: the batched kernel's headline numbers ------------------
     # (name, batch, ctx, kv_heads, head_dim); the d8 shapes are the tiny
@@ -397,27 +418,31 @@ def run_all(quick: bool = False, seed: int = 0, repeats: Optional[int] = None) -
         decode_cfgs.append(("decode/mha/b16-c32-d8", 16, 32, 8, 8))
     for name, batch, ctx, kv_heads, dim in decode_cfgs:
         results.append(
-            bench_decode_kernel(name, batch, ctx, heads, kv_heads, dim, r, seed)
+            run(bench_decode_kernel, name, batch, ctx, heads, kv_heads, dim, r, seed)
         )
 
     # --- prefill: vectorized multi-token --------------------------------
     q, c = (16, 128) if quick else (32, 256)
     results.append(
-        bench_multi_token_kernel(
-            "prefill/gqa4/b4", "prefill", [q] * 4, [c] * 4, heads, 2, head_dim, r, seed
+        run(
+            bench_multi_token_kernel,
+            "prefill/gqa4/b4", "prefill", [q] * 4, [c] * 4, heads, 2, head_dim,
+            r, seed,
         )
     )
     # Single-tile contexts exercise the non-tiled fast path.
     results.append(
-        bench_multi_token_kernel(
+        run(
+            bench_multi_token_kernel,
             "prefill/single-tile/b4", "prefill", [16] * 4, [40] * 4, heads, 2,
-            head_dim, r, seed
+            head_dim, r, seed,
         )
     )
 
     # --- mixed: unified prefill + generation batch ----------------------
     results.append(
-        bench_multi_token_kernel(
+        run(
+            bench_multi_token_kernel,
             "mixed/gqa4/b8",
             "mixed",
             [q, q, 1, 1, 1, 1, 1, 1],
@@ -431,19 +456,22 @@ def run_all(quick: bool = False, seed: int = 0, repeats: Optional[int] = None) -
     e2e_ctx = 128 if quick else 256
     for arch in ("opt", "llama"):
         results.append(
-            bench_e2e(
-                f"e2e/{arch}/decode-b8", arch, [], [e2e_ctx] * 8, layers, r, seed
+            run(
+                bench_e2e,
+                f"e2e/{arch}/decode-b8", arch, [], [e2e_ctx] * 8, layers, r, seed,
             )
         )
     results.append(
-        bench_e2e(
-            "e2e/llama/mixed-b6", "llama", [q, q], [e2e_ctx] * 4, layers, r, seed
+        run(
+            bench_e2e,
+            "e2e/llama/mixed-b6", "llama", [q, q], [e2e_ctx] * 4, layers, r, seed,
         )
     )
 
     # --- storage: CRC re-verification cost ------------------------------
     results.append(
-        bench_crc_verification(
+        run(
+            bench_crc_verification,
             "storage/crc-read",
             num_chunks=4 if quick else 16,
             chunk_tokens=16,

@@ -10,7 +10,12 @@ Run as ``python -m repro <command>``:
 - ``report``    — regenerate EXPERIMENTS.md (slow: full serving sweeps);
 - ``bench``     — the kernel/forward-pass performance harness: times the
   vectorized layer against the per-request reference kernels, writes
-  ``BENCH_kernels.json``, exits non-zero if outputs diverge.
+  ``BENCH_kernels.json``, exits non-zero if outputs diverge;
+- ``trace``     — run an experiment with full telemetry and export the
+  trace (Chrome trace JSON, JSONL event log, text report).
+
+``simulate`` and ``bench`` also accept ``--trace-out DIR`` to record the
+same telemetry alongside their normal output.
 """
 
 from __future__ import annotations
@@ -83,6 +88,23 @@ def _engine_factory(system: str, config: ModelConfig, fault_plan=None):
     )
 
 
+def _make_tracer(args: argparse.Namespace):
+    """A recording tracer when ``--trace-out`` was given, else None."""
+    if not getattr(args, "trace_out", None):
+        return None
+    from repro.obs import Tracer
+
+    return Tracer()
+
+
+def _write_trace(tracer, outdir: str, prefix: str = "trace") -> None:
+    from repro.obs import write_trace_artifacts
+
+    paths = write_trace_artifacts(tracer, outdir, prefix=prefix)
+    for kind in sorted(paths):
+        print(f"trace [{kind:6s}]: {paths[kind]}")
+
+
 def cmd_chat(args: argparse.Namespace) -> int:
     from repro.core.server import StatefulChatServer
     from repro.model.config import tiny_llama_config, tiny_opt_config
@@ -135,11 +157,13 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     fault_plan = _fault_plan(args)
+    tracer = _make_tracer(args)
     engine, stats = run_serving_once(
         _engine_factory(args.system, config, fault_plan),
         conversations,
         until=args.duration,
         warmup=args.duration * 0.3,
+        tracer=tracer,
     )
     print(f"system        : {engine.name}")
     print(f"model         : {config.name} ({config.num_gpus} GPU(s))")
@@ -152,6 +176,8 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     if fault_plan is not None:
         print("faults        :", engine.metrics.faults.as_dict())
         print(f"degraded      : {engine.num_failed}")
+    if tracer is not None:
+        _write_trace(tracer, args.trace_out, prefix="trace_simulate")
     return 0
 
 
@@ -192,14 +218,59 @@ def cmd_figures(args: argparse.Namespace) -> int:
 def cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import format_table, run_all, write_json
 
-    results = run_all(quick=args.quick, seed=args.seed, repeats=args.repeats)
+    tracer = _make_tracer(args)
+    results = run_all(
+        quick=args.quick, seed=args.seed, repeats=args.repeats, tracer=tracer
+    )
     print(format_table(results))
     if args.output:
         write_json(results, args.output, quick=args.quick, seed=args.seed)
         print(f"\nwrote {args.output}")
+    if tracer is not None:
+        _write_trace(tracer, args.trace_out, prefix="trace_bench")
     if not all(x.equivalent for x in results):
         print("ERROR: vectorized kernels diverged from the reference", flush=True)
         return 1
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.experiments.common import run_serving_once
+    from repro.obs import Tracer
+    from repro.workload.dataset import SHAREGPT, ULTRACHAT, generate_workload
+
+    tracer = Tracer()
+    if args.experiment == "simulate":
+        config = _model(args.model)
+        dataset = ULTRACHAT if args.dataset == "ultrachat" else SHAREGPT
+        conversations = generate_workload(
+            dataset,
+            request_rate=args.rate,
+            duration=args.duration,
+            think_time_mean=args.think_time,
+            seed=args.seed,
+        )
+        engine, stats = run_serving_once(
+            _engine_factory(args.system, config, None),
+            conversations,
+            until=args.duration,
+            warmup=args.duration * 0.3,
+            tracer=tracer,
+        )
+        print(f"system        : {engine.name}")
+        for key, value in stats.as_dict().items():
+            print(f"{key:22s}: {value}")
+    elif args.experiment == "fig13":
+        from repro.experiments.fig13 import format_fig13, run_fig13
+
+        curves = run_fig13(
+            rates=tuple(args.rates), duration=args.duration,
+            seed=args.seed, tracer=tracer,
+        )
+        print(format_fig13(curves))
+    else:  # pragma: no cover - argparse choices prevent this
+        raise SystemExit(f"unknown experiment {args.experiment!r}")
+    _write_trace(tracer, args.out, prefix=f"trace_{args.experiment}")
     return 0
 
 
@@ -241,6 +312,9 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--fault-rate", type=float, default=0.05,
                           help="per-occurrence failure probability used for "
                                "the injected fault sites")
+    simulate.add_argument("--trace-out", default=None, metavar="DIR",
+                          help="record full telemetry and write the trace "
+                               "artifacts (Chrome JSON, JSONL, text) here")
     simulate.set_defaults(func=cmd_simulate)
 
     sweep = sub.add_parser("sweep", help="latency-throughput curve")
@@ -268,7 +342,29 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--seed", type=int, default=0)
     bench.add_argument("--repeats", type=int, default=None,
                        help="override per-scenario repeat count")
+    bench.add_argument("--trace-out", default=None, metavar="DIR",
+                       help="record per-scenario wall-clock spans and write "
+                            "the trace artifacts here")
     bench.set_defaults(func=cmd_bench)
+
+    trace = sub.add_parser(
+        "trace", help="run an experiment with full telemetry recording"
+    )
+    trace.add_argument("experiment", choices=("simulate", "fig13"),
+                       help="what to run under the tracer")
+    trace.add_argument("--out", default="traces", metavar="DIR",
+                       help="output directory for the trace artifacts")
+    trace.add_argument("--system", default="pensieve")
+    trace.add_argument("--model", default="opt-13b")
+    trace.add_argument("--dataset", choices=("sharegpt", "ultrachat"),
+                       default="sharegpt")
+    trace.add_argument("--rate", type=float, default=8.0)
+    trace.add_argument("--rates", type=float, nargs="+", default=[2.0, 8.0],
+                       help="request rates (fig13 only)")
+    trace.add_argument("--duration", type=float, default=120.0)
+    trace.add_argument("--think-time", type=float, default=60.0)
+    trace.add_argument("--seed", type=int, default=7)
+    trace.set_defaults(func=cmd_trace)
 
     report = sub.add_parser("report", help="regenerate EXPERIMENTS.md (slow)")
     report.add_argument("--output", default="EXPERIMENTS.md")

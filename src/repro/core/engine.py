@@ -143,6 +143,27 @@ class PensieveEngine(EngineBase):
         self._copy_log: deque = deque()
         self._settled_tokens = 0
 
+    # ------------------------------------------------------------------
+    # Observability (repro.obs)
+    # ------------------------------------------------------------------
+
+    def set_tracer(self, tracer) -> None:
+        super().set_tracer(tracer)
+        self.manager.tracer = self.tracer
+        self.pcie.tracer = self.tracer
+
+    def _trace_gauges(self, now: float) -> None:
+        tracer = self.tracer
+        manager = self.manager
+        tracer.gauge("kv.gpu_resident_tokens", manager.gpu_resident_tokens, t=now)
+        tracer.gauge("kv.gpu_free_tokens", manager.gpu_free_tokens, t=now)
+        tracer.gauge("kv.reclaimable_tokens", manager.reclaimable_tokens, t=now)
+        tracer.gauge("kv.evictable_tokens", manager.evictable_gpu_tokens, t=now)
+        tracer.gauge("kv.cpu_used_tokens", manager.cpu_used_tokens, t=now)
+        tracer.gauge(
+            "kv.fragmentation_tokens", manager.fragmentation_tokens(), t=now
+        )
+
     @staticmethod
     def _resolve_policy(
         policy: object, cost_model: CostModel, chunk_size: int
@@ -172,7 +193,7 @@ class PensieveEngine(EngineBase):
         if self.fault_plan is None:
             return True
         ok, retries, delay = attempt_with_retries(
-            self.fault_plan, site, self.retry_policy
+            self.fault_plan, site, self.retry_policy, tracer=self.tracer
         )
         self.metrics.faults.retries += retries
         self._iter_fault_delay += delay
@@ -229,6 +250,13 @@ class PensieveEngine(EngineBase):
             now, "suspend", request_id=victim.request_id,
             copied_tokens=copied, dropped_tokens=dropped,
         )
+        if self.tracer.enabled:
+            self.tracer.count("engine.suspensions")
+            self.tracer.instant(
+                "suspend", t=now, track="engine",
+                request_id=victim.request_id, conv_id=victim.conv_id,
+                copied_tokens=copied, dropped_tokens=dropped,
+            )
 
     def _reclaim_budget(self, now: float) -> int:
         """Tokens whose ahead-of-time copies have settled and are still
@@ -308,6 +336,12 @@ class PensieveEngine(EngineBase):
                 now, "swap_in", request_id=request.request_id,
                 tokens=plan.swap_in_tokens, seconds=record.end_time - now,
             )
+            if self.tracer.enabled:
+                self.tracer.complete(
+                    "swap_in", now, record.end_time, track="cache",
+                    request_id=request.request_id, conv_id=request.conv_id,
+                    tokens=plan.swap_in_tokens,
+                )
         self.manager.commit_restore(plan, now)
         request.prefill_tokens = plan.prefill_tokens
         request.prefill_done = False
@@ -323,6 +357,19 @@ class PensieveEngine(EngineBase):
             gpu_hits=plan.gpu_hit_tokens, swap_in=plan.swap_in_tokens,
             recompute=plan.recompute_tokens, new=plan.new_tokens,
         )
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "admit", t=now, track="engine",
+                request_id=request.request_id, conv_id=request.conv_id,
+                gpu_hits=plan.gpu_hit_tokens, swap_in=plan.swap_in_tokens,
+                recompute=plan.recompute_tokens, new=plan.new_tokens,
+            )
+            if plan.recompute_tokens > 0:
+                self.tracer.instant(
+                    "recompute", t=now, track="cache",
+                    request_id=request.request_id, conv_id=request.conv_id,
+                    tokens=plan.recompute_tokens,
+                )
 
     def _swap_in_with_faults(self, request, plan, now: float):
         """Model the H2D retrieval's failure modes before it is priced.
@@ -337,7 +384,8 @@ class PensieveEngine(EngineBase):
         if self.fault_plan is None:
             return plan
         ok, retries, delay = attempt_with_retries(
-            self.fault_plan, FaultSite.SWAP_IN, self.retry_policy
+            self.fault_plan, FaultSite.SWAP_IN, self.retry_policy,
+            tracer=self.tracer,
         )
         self.metrics.faults.retries += retries
         self._iter_fault_delay += delay
@@ -354,6 +402,13 @@ class PensieveEngine(EngineBase):
             now, "swap_in_fallback", request_id=request.request_id,
             tokens=invalidated, corrupt=corrupt,
         )
+        if self.tracer.enabled:
+            self.tracer.count("fault.recompute_fallbacks")
+            self.tracer.instant(
+                "swap_in_fallback", t=now, track="cache",
+                request_id=request.request_id, conv_id=request.conv_id,
+                tokens=invalidated, corrupt=corrupt,
+            )
         return self.manager.plan_restore(request.conv_id, request.prompt_tokens)
 
     def _idle_retry_delay(self, now: float) -> Optional[float]:
@@ -377,6 +432,11 @@ class PensieveEngine(EngineBase):
             )
             self._log_copy(record.end_time, copied_tokens)
             self.trace.record(now, "demand_swap_out", tokens=copied_tokens)
+            if self.tracer.enabled:
+                self.tracer.complete(
+                    "swap_out", now, record.end_time, track="cache",
+                    kind="demand", tokens=copied_tokens,
+                )
 
     # ------------------------------------------------------------------
     # Execution
@@ -448,6 +508,11 @@ class PensieveEngine(EngineBase):
             )
             self._log_copy(record.end_time, copied_tokens)
             self.trace.record(now, "aot_swap_out", tokens=copied_tokens)
+            if self.tracer.enabled:
+                self.tracer.complete(
+                    "swap_out", now, record.end_time, track="cache",
+                    kind="ahead_of_time", tokens=copied_tokens,
+                )
 
     def _on_fail(self, request: Request, now: float) -> None:
         """Degraded request: unpin its conversation but keep the cached

@@ -41,6 +41,7 @@ from repro.kvcache.storage import CpuChunkStore, KVStorage
 from repro.model.config import ModelConfig, tiny_opt_config
 from repro.model.sampling import GREEDY, SamplingParams, sample_token
 from repro.model.transformer import ForwardRequest, PagedTransformer
+from repro.obs.tracer import NULL_TRACER, NullTracer
 from repro.workload.tokenizer import SimpleTokenizer
 
 
@@ -88,6 +89,7 @@ class StatefulChatServer:
         retry_policy: Optional[RetryPolicy] = None,
         verify_on_read: bool = True,
         use_fast_paths: bool = True,
+        tracer: Optional[NullTracer] = None,
     ) -> None:
         if chunk_size % page_size != 0:
             raise ValueError(
@@ -141,6 +143,16 @@ class StatefulChatServer:
         # pinned forever, prepended to every conversation's context.
         self._system_slots: List[int] = []
         self._system_ids: List[int] = []
+        #: Observability sink (``repro.obs``); the null default keeps the
+        #: serving path allocation-free when tracing is off.
+        self.tracer = NULL_TRACER
+        self.set_tracer(tracer if tracer is not None else NULL_TRACER)
+
+    def set_tracer(self, tracer: NullTracer) -> None:
+        """Attach a tracer, propagating it to the cache tiers."""
+        self.tracer = tracer
+        self.manager.tracer = tracer
+        self.cpu_store.tracer = tracer
 
     # ------------------------------------------------------------------
     # Physical mirror of the manager's tier transitions
@@ -264,7 +276,7 @@ class StatefulChatServer:
         if self.fault_plan is None:
             return True, 1
         ok, retries, delay = attempt_with_retries(
-            self.fault_plan, site, self.retry_policy
+            self.fault_plan, site, self.retry_policy, tracer=self.tracer
         )
         self._clock += delay
         self.fault_counters.retries += retries
@@ -337,42 +349,82 @@ class StatefulChatServer:
         if not prompt_ids:
             raise ValueError("empty prompt")
 
-        table, dropped, input_ids = self._restore_context(conv_id, prompt_ids, now)
-        history = self.raw_tokens[conv_id]
-        request = ForwardRequest(
-            input_ids=np.asarray(input_ids, dtype=np.int64),
-            context_slots=self._full_context(table),
-            dropped=dropped,
-            shared_prefix=len(self._system_slots),
-        )
-        logits = self.model.forward([request])[0]
-        next_token = sample_token(logits[-1], sampling, self._sampling_rng)
+        tracer = self.tracer
+        req_span = 0
+        if tracer.enabled:
+            req_span = tracer.begin(
+                "request", t=now, track="requests",
+                conv_id=conv_id, prompt_tokens=len(prompt_ids),
+            )
+        try:
+            prefill_span = 0
+            if tracer.enabled:
+                prefill_span = tracer.begin(
+                    "prefill", t=now, parent=req_span, track="server",
+                    conv_id=conv_id,
+                )
+            table, dropped, input_ids = self._restore_context(
+                conv_id, prompt_ids, now
+            )
+            history = self.raw_tokens[conv_id]
+            request = ForwardRequest(
+                input_ids=np.asarray(input_ids, dtype=np.int64),
+                context_slots=self._full_context(table),
+                dropped=dropped,
+                shared_prefix=len(self._system_slots),
+            )
+            logits = self.model.forward([request])[0]
+            next_token = sample_token(logits[-1], sampling, self._sampling_rng)
+            if tracer.enabled:
+                tracer.end(
+                    prefill_span, t=self._clock,
+                    tokens=len(input_ids), recomputed=dropped,
+                )
 
-        generated = [next_token]
-        for _ in range(max_new_tokens - 1):
+            decode_span = 0
+            if tracer.enabled:
+                decode_span = tracer.begin(
+                    "decode", t=self._clock, parent=req_span, track="server",
+                    conv_id=conv_id,
+                )
+            generated = [next_token]
+            for _ in range(max_new_tokens - 1):
+                self._grow(conv_id, table, now)
+                step = ForwardRequest(
+                    input_ids=np.asarray([generated[-1]], dtype=np.int64),
+                    context_slots=self._full_context(table),
+                    shared_prefix=len(self._system_slots),
+                )
+                step_logits = self.model.next_token_logits([step])[0]
+                generated.append(
+                    sample_token(step_logits, sampling, self._sampling_rng)
+                )
+
+            # Account the final token's KV as part of the cached context.
             self._grow(conv_id, table, now)
             step = ForwardRequest(
                 input_ids=np.asarray([generated[-1]], dtype=np.int64),
                 context_slots=self._full_context(table),
                 shared_prefix=len(self._system_slots),
             )
-            step_logits = self.model.next_token_logits([step])[0]
-            generated.append(
-                sample_token(step_logits, sampling, self._sampling_rng)
-            )
-
-        # Account the final token's KV as part of the cached context.
-        self._grow(conv_id, table, now)
-        step = ForwardRequest(
-            input_ids=np.asarray([generated[-1]], dtype=np.int64),
-            context_slots=self._full_context(table),
-            shared_prefix=len(self._system_slots),
-        )
-        self.model.forward([step])
+            self.model.forward([step])
+            if tracer.enabled:
+                tracer.end(decode_span, t=self._clock, tokens=len(generated))
+        except RequestFaultedError:
+            if tracer.enabled:
+                tracer.count("requests.failed")
+                tracer.end(req_span, t=self._clock, outcome="failed")
+            raise
 
         history.extend(prompt_ids)
         history.extend(generated)
         self.manager.close(conv_id, now)
+        if tracer.enabled:
+            tracer.count("requests.finished")
+            tracer.end(
+                req_span, t=self._clock,
+                outcome="finished", output_tokens=len(generated),
+            )
         return generated
 
     def _restore_context(
@@ -454,6 +506,12 @@ class StatefulChatServer:
                 item for item in restored_data if item[0] >= corrupt_upto.end
             ]
             plan = self.manager.plan_restore(conv_id, len(prompt_ids))
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "restore", t=now, track="server", conv_id=conv_id,
+                gpu_hits=plan.gpu_hit_tokens, swap_in=plan.swap_in_tokens,
+                recompute=plan.recompute_tokens, new=plan.new_tokens,
+            )
         self.manager.commit_restore(plan, now)
 
         # Physically restore the vacated prefix: dropped tokens get fresh
@@ -529,6 +587,10 @@ class StatefulChatServer:
             raise ValueError("duplicate conversation ids in one batch")
         if self.SYSTEM_CONV_ID in conv_ids:
             raise ValueError(f"conversation id {self.SYSTEM_CONV_ID} is reserved")
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "batch_turn", t=now, track="server", batch_size=len(prompts)
+            )
 
         # Phase 1: restore/extend every conversation's context (pins all,
         # so later restores cannot evict earlier batch members).  A

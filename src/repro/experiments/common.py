@@ -52,16 +52,24 @@ def run_serving_once(
     max_events: int = 50_000_000,
     until: Optional[float] = None,
     warmup: float = 0.0,
+    tracer=None,
 ) -> tuple:
     """Serve one scripted workload (to completion, or up to ``until``).
 
     Returns ``(engine, stats)``; the engine is returned so callers can
-    inspect traces, cache statistics or suspension counters.
+    inspect traces, cache statistics or suspension counters.  Passing a
+    :class:`repro.obs.Tracer` records the run's full span/counter/gauge
+    telemetry (still-open request spans are closed, marked truncated, at
+    the simulation's end time).
     """
     loop = EventLoop()
     engine = engine_factory(loop)
+    if tracer is not None:
+        engine.set_tracer(tracer)
     driver = ConversationDriver(loop, engine, conversations)
     driver.run(until=until, max_events=max_events)
+    if tracer is not None and tracer.enabled:
+        tracer.close_open(loop.now)
     return engine, driver.stats(warmup=warmup, until=until)
 
 
@@ -74,6 +82,7 @@ def run_rate_sweep(
     think_time_mean: float = 60.0,
     seed: int = 7,
     extras_fn: Optional[Callable[[EngineBase], Dict[str, float]]] = None,
+    tracer=None,
 ) -> List[RatePoint]:
     """Sweep request rates and collect one latency–throughput curve.
 
@@ -98,11 +107,14 @@ def run_rate_sweep(
             think_time_mean=think_time_mean,
             seed=seed,
         )
+        if tracer is not None and tracer.enabled:
+            tracer.instant("sweep_point", track="experiment", rate=rate)
         engine, stats = run_serving_once(
             engine_factory,
             conversations,
             until=duration,
             warmup=warmup_fraction * duration,
+            tracer=tracer,
         )
         extras = extras_fn(engine) if extras_fn else {}
         points.append(

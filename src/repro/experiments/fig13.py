@@ -27,6 +27,7 @@ def run_fig13(
     duration: float = 500.0,
     seed: int = 7,
     spec: GpuSpec = A100_80GB,
+    tracer=None,
 ) -> Dict[str, List[RatePoint]]:
     """Sweep Pensieve with and without unified scheduling."""
     factories = {
@@ -36,7 +37,9 @@ def run_fig13(
         ),
     }
     return {
-        name: run_rate_sweep(factory, dataset, rates, duration=duration, seed=seed)
+        name: run_rate_sweep(
+            factory, dataset, rates, duration=duration, seed=seed, tracer=tracer
+        )
         for name, factory in factories.items()
     }
 

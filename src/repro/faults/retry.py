@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import Iterator, Tuple
 
 from repro.faults.plan import FaultPlan, FaultSite
+from repro.obs.tracer import NULL_TRACER, NullTracer
 
 
 @dataclass(frozen=True)
@@ -50,21 +51,33 @@ class RetryPolicy:
 
 
 def attempt_with_retries(
-    plan: FaultPlan, site: FaultSite, policy: RetryPolicy
+    plan: FaultPlan,
+    site: FaultSite,
+    policy: RetryPolicy,
+    tracer: NullTracer = NULL_TRACER,
 ) -> Tuple[bool, int, float]:
     """Draw ``site`` once, retrying per ``policy`` while it keeps failing.
 
     Returns ``(success, retries_used, backoff_seconds)``: the caller charges
     ``backoff_seconds`` to its clock and counts the retries; on ``False``
     the operation failed terminally and must enter its degradation path.
+    ``tracer`` receives per-site retry and outcome counters.
     """
     if not plan.fires(site):
         return True, 0, 0.0
     retries = 0
     delay = 0.0
+    ok = False
     for backoff in policy.backoffs():
         retries += 1
         delay += backoff
         if not plan.fires(site):
-            return True, retries, delay
-    return False, retries, delay
+            ok = True
+            break
+    if tracer.enabled:
+        tracer.count(f"fault.{site.value}.retries", retries)
+        tracer.count(
+            f"fault.{site.value}.recovered" if ok
+            else f"fault.{site.value}.terminal"
+        )
+    return ok, retries, delay

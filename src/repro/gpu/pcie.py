@@ -22,6 +22,8 @@ import enum
 from dataclasses import dataclass
 from typing import List, Optional
 
+from repro.obs.tracer import NULL_TRACER
+
 
 class Direction(enum.Enum):
     """Transfer direction over the host link."""
@@ -83,6 +85,10 @@ class PcieEngine:
         self._busy_until = {Direction.H2D: 0.0, Direction.D2H: 0.0}
         self._history: List[TransferRecord] = []
         self.bytes_moved = {Direction.H2D: 0.0, Direction.D2H: 0.0}
+        #: Observability sink (``repro.obs``); every transfer becomes a
+        #: ``pcie.h2d`` / ``pcie.d2h`` span and a byte counter that
+        #: reconciles exactly with :attr:`bytes_moved`.
+        self.tracer = NULL_TRACER
 
     def busy_until(self, direction: Direction) -> float:
         """Time at which the given direction's queue drains."""
@@ -121,6 +127,18 @@ class PcieEngine:
         )
         self._history.append(record)
         self.bytes_moved[direction] += num_bytes
+        if self.tracer.enabled:
+            name = f"pcie.{direction.value}"
+            self.tracer.complete(
+                name,
+                start,
+                end,
+                track="pcie",
+                bytes=num_bytes,
+                queue_delay=start - now,
+            )
+            self.tracer.count(f"{name}_bytes", num_bytes)
+            self.tracer.count(f"{name}_transfers")
         return record
 
     def swap_in(self, now: float, num_bytes: float) -> TransferRecord:

@@ -35,6 +35,7 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.faults.plan import FaultCounters, FaultPlan, FaultSite
 from repro.kvcache.chunks import Chunk, ChunkLocation, ConversationCache
+from repro.obs.tracer import NULL_TRACER
 
 #: Eviction scorer: ``(chunk, last_active, now) -> score``.  Chunks are
 #: evicted in ascending score order (low retention value goes first).
@@ -174,6 +175,32 @@ class TwoTierCacheManager:
             # many settled copies remain reclaimable.
             "gpu_cpu_exit_tokens": 0,
         }
+        #: Observability sink; :meth:`_bump` mirrors every ``stats``
+        #: increment into a ``cache.*`` counter so a trace's totals
+        #: reconcile exactly with :attr:`stats`.
+        self.tracer = NULL_TRACER
+
+    def _bump(self, key: str, tokens: int) -> None:
+        """Increment one ``stats`` counter, mirrored into the tracer."""
+        self.stats[key] += tokens
+        if self.tracer.enabled:
+            self.tracer.count(f"cache.{key}", tokens)
+
+    def fragmentation_tokens(self) -> int:
+        """Internal fragmentation of the GPU tier at chunk granularity:
+        slots inside partially-filled tail chunks.  O(conversations) —
+        intended for per-iteration gauge sampling in traced runs only.
+        """
+        wasted = 0
+        for cache in self._conversations.values():
+            # GPU-resident chunks occupy the rear of the Figure 5 layout,
+            # so only the final chunk can be a partially-filled GPU tail.
+            if not cache.chunks:
+                continue
+            tail = cache.chunks[-1]
+            if tail.location in _GPU_STATES and tail.num_tokens < self.chunk_size:
+                wasted += self.chunk_size - tail.num_tokens
+        return wasted
 
     # ------------------------------------------------------------------
     # Accounting (O(1))
@@ -246,7 +273,7 @@ class TwoTierCacheManager:
             if new is ChunkLocation.GPU:
                 self._evictable += n
         if old is ChunkLocation.GPU_CPU:
-            self.stats["gpu_cpu_exit_tokens"] += n
+            self._bump("gpu_cpu_exit_tokens", n)
         chunk.location = new
         self._reindex(cache)
         if self.observer is not None:
@@ -379,10 +406,10 @@ class TwoTierCacheManager:
             CacheCapacityError: if the GPU tier cannot hold the result.
         """
         needed = plan.alloc_tokens
-        self.stats["lookup_tokens"] += plan.total_context - plan.new_tokens
-        self.stats["gpu_hit_tokens"] += plan.gpu_hit_tokens
-        self.stats["cpu_hit_tokens"] += plan.swap_in_tokens
-        self.stats["recomputed_tokens"] += plan.recompute_tokens
+        self._bump("lookup_tokens", plan.total_context - plan.new_tokens)
+        self._bump("gpu_hit_tokens", plan.gpu_hit_tokens)
+        self._bump("cpu_hit_tokens", plan.swap_in_tokens)
+        self._bump("recomputed_tokens", plan.recompute_tokens)
         cache = self.open(plan.conv_id, now)
         if needed > self.gpu_free_tokens + self._reclaimable:
             raise CacheCapacityError(
@@ -452,7 +479,7 @@ class TwoTierCacheManager:
             if upto is not None and chunk.index > upto.index:
                 break
             self._move(cache, chunk, ChunkLocation.DROPPED)
-            self.stats["dropped_tokens"] += chunk.num_tokens
+            self._bump("dropped_tokens", chunk.num_tokens)
             invalidated += chunk.num_tokens
         cache.check_layout()
         return invalidated
@@ -507,15 +534,15 @@ class TwoTierCacheManager:
             candidates = self._candidates(ChunkLocation.GPU, now)
             if not candidates:
                 break
-            _, chunk, cache = candidates[0]
+            score, chunk, cache = candidates[0]
             if self.whole_conversation_eviction:
                 # Granularity ablation: take the whole conversation, even
                 # past the target (the overshoot is the cost of coarse
                 # eviction the paper's design avoids).
                 for victim in list(cache.chunks_in(ChunkLocation.GPU)):
-                    self._swap_out_chunk(cache, victim, now, copied)
+                    self._swap_out_chunk(cache, victim, now, copied, score=score)
             else:
-                self._swap_out_chunk(cache, chunk, now, copied)
+                self._swap_out_chunk(cache, chunk, now, copied, score=score)
         return copied
 
     def _swap_out_chunk(
@@ -524,16 +551,41 @@ class TwoTierCacheManager:
         chunk: Chunk,
         now: float,
         copied: List[Chunk],
+        score: Optional[float] = None,
     ) -> str:
         """Move one GPU chunk toward the CPU tier.
 
         Returns ``"copied"`` or ``"dropped"``; either way the chunk's GPU
         slots have been made reclaimable or free (guaranteed progress).
+        ``score`` is the victim's retention score, recorded on the
+        eviction trace event so traces carry the score distribution the
+        policy acted on.
         """
+        outcome = self._swap_out_chunk_inner(cache, chunk, now, copied)
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "evict",
+                t=now,
+                track="cache",
+                conv_id=cache.conv_id,
+                chunk=chunk.index,
+                tokens=chunk.num_tokens,
+                outcome=outcome,
+                score=score,
+            )
+        return outcome
+
+    def _swap_out_chunk_inner(
+        self,
+        cache: ConversationCache,
+        chunk: Chunk,
+        now: float,
+        copied: List[Chunk],
+    ) -> str:
         if self.cpu_capacity_tokens == 0:
             # GPU-cache-only variant: dropping instead of copying.
             self._move(cache, chunk, ChunkLocation.DROPPED)
-            self.stats["dropped_tokens"] += chunk.num_tokens
+            self._bump("dropped_tokens", chunk.num_tokens)
             cache.check_layout()
             return "dropped"
         if self.fault_plan is not None and self.fault_plan.fires(FaultSite.SWAP_OUT):
@@ -558,7 +610,7 @@ class TwoTierCacheManager:
                 self._drop_leading_prefix(cache, chunk)
                 return "dropped"
         self._move(cache, chunk, ChunkLocation.GPU_CPU)
-        self.stats["swapped_out_tokens"] += chunk.num_tokens
+        self._bump("swapped_out_tokens", chunk.num_tokens)
         copied.append(chunk)
         cache.check_layout()
         return "copied"
@@ -572,7 +624,7 @@ class TwoTierCacheManager:
         """
         for chunk in cache.chunks:
             if chunk.location is not ChunkLocation.DROPPED:
-                self.stats["dropped_tokens"] += chunk.num_tokens
+                self._bump("dropped_tokens", chunk.num_tokens)
                 self._move(cache, chunk, ChunkLocation.DROPPED)
             if chunk is upto:
                 break
@@ -588,10 +640,21 @@ class TwoTierCacheManager:
             candidates = self._candidates(ChunkLocation.GPU_CPU, now, exclude=exclude)
             if not candidates:
                 break
-            _, chunk, cache = candidates[0]
+            score, chunk, cache = candidates[0]
             self._move(cache, chunk, ChunkLocation.CPU)
             freed += chunk.num_tokens
             cache.check_layout()
+            if self.tracer.enabled:
+                self.tracer.count("cache.reclaimed_tokens", chunk.num_tokens)
+                self.tracer.instant(
+                    "reclaim",
+                    t=now,
+                    track="cache",
+                    conv_id=cache.conv_id,
+                    chunk=chunk.index,
+                    tokens=chunk.num_tokens,
+                    score=score,
+                )
         return freed
 
     def drop_from_cpu(
@@ -609,11 +672,21 @@ class TwoTierCacheManager:
         while freed < tokens_needed:
             candidates = self._candidates(ChunkLocation.CPU, now)
             if candidates:
-                _, chunk, cache = candidates[0]
+                score, chunk, cache = candidates[0]
                 self._move(cache, chunk, ChunkLocation.DROPPED)
-                self.stats["dropped_tokens"] += chunk.num_tokens
+                self._bump("dropped_tokens", chunk.num_tokens)
                 freed += chunk.num_tokens
                 cache.check_layout()
+                if self.tracer.enabled:
+                    self.tracer.instant(
+                        "cpu_drop",
+                        t=now,
+                        track="cache",
+                        conv_id=cache.conv_id,
+                        chunk=chunk.index,
+                        tokens=chunk.num_tokens,
+                        score=score,
+                    )
                 continue
             if not allow_revert:
                 break
@@ -698,11 +771,11 @@ class TwoTierCacheManager:
         for chunk in gpu_chunks:
             if gpu_tokens - dropped > room:
                 self._move(cache, chunk, ChunkLocation.DROPPED)
-                self.stats["dropped_tokens"] += chunk.num_tokens
+                self._bump("dropped_tokens", chunk.num_tokens)
                 dropped += chunk.num_tokens
             else:
                 self._move(cache, chunk, ChunkLocation.CPU)
-                self.stats["swapped_out_tokens"] += chunk.num_tokens
+                self._bump("swapped_out_tokens", chunk.num_tokens)
                 copied += chunk.num_tokens
         cache.check_layout()
         return copied, dropped

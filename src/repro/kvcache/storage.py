@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.faults.errors import ChunkCorruptionError
 from repro.faults.plan import FaultPlan, FaultSite
+from repro.obs.tracer import NULL_TRACER
 
 if TYPE_CHECKING:  # avoids a circular import with repro.model
     from repro.model.config import ModelConfig
@@ -127,6 +128,9 @@ class CpuChunkStore:
         self._tokens: Dict[Tuple[int, int], int] = {}
         self._checksums: Dict[Tuple[int, int], int] = {}
         self.used_tokens = 0
+        #: Observability sink: byte counters for inserts/reads/drops plus
+        #: an occupancy gauge, all no-ops under the shared null tracer.
+        self.tracer = NULL_TRACER
 
     def put(
         self,
@@ -153,6 +157,10 @@ class CpuChunkStore:
         self._tokens[key] = tokens
         self._checksums[key] = _checksum(k, v)
         self.used_tokens += tokens
+        if self.tracer.enabled:
+            self.tracer.count("cpu_store.put_bytes", k.nbytes + v.nbytes)
+            self.tracer.count("cpu_store.put_chunks")
+            self.tracer.gauge("cpu_store.used_tokens", self.used_tokens)
 
     def _verify(self, key: Tuple[int, int]) -> None:
         """Check a stored chunk against its insertion-time checksum.
@@ -167,6 +175,12 @@ class CpuChunkStore:
         if self.fault_plan is not None and self.fault_plan.fires(FaultSite.CPU_READ):
             k.flat[0] += 1.0  # single bit-flip-equivalent perturbation
         if _checksum(k, v) != self._checksums[key]:
+            if self.tracer.enabled:
+                self.tracer.count("cpu_store.corrupt_chunks")
+                self.tracer.instant(
+                    "cpu_store_corrupt", track="cache",
+                    conv_id=key[0], chunk=key[1],
+                )
             raise ChunkCorruptionError(conv_id=key[0], chunk_index=key[1])
 
     def get(self, conv_id: int, chunk_index: int) -> Tuple[np.ndarray, np.ndarray]:
@@ -196,6 +210,9 @@ class CpuChunkStore:
         data = self._entries.pop(key)
         self._checksums.pop(key)
         self.used_tokens -= self._tokens.pop(key)
+        if self.tracer.enabled:
+            self.tracer.count("cpu_store.read_bytes", data[0].nbytes + data[1].nbytes)
+            self.tracer.gauge("cpu_store.used_tokens", self.used_tokens)
         return data
 
     def drop(self, conv_id: int, chunk_index: int) -> None:
@@ -203,7 +220,11 @@ class CpuChunkStore:
         key = (conv_id, chunk_index)
         del self._entries[key]
         self._checksums.pop(key)
-        self.used_tokens -= self._tokens.pop(key)
+        dropped = self._tokens.pop(key)
+        self.used_tokens -= dropped
+        if self.tracer.enabled:
+            self.tracer.count("cpu_store.dropped_tokens", dropped)
+            self.tracer.gauge("cpu_store.used_tokens", self.used_tokens)
 
     def contains(self, conv_id: int, chunk_index: int) -> bool:
         return (conv_id, chunk_index) in self._entries

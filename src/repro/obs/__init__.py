@@ -1,0 +1,41 @@
+"""End-to-end tracing & telemetry (``repro.obs``).
+
+The observability layer gives every run an attributed timeline: which
+tokens were saved, what crossed the PCIe link, when eviction fired and at
+what retention score, how deep the queues ran, and how each request's
+lifecycle decomposed into prefill/decode/swap/recompute work.
+
+Three pieces:
+
+- :class:`Tracer` / :class:`NullTracer` — hierarchical spans stamped with
+  simulated *and* wall-clock time, plus typed counters and gauges.  The
+  null tracer is the default everywhere; its methods are allocation-free
+  no-ops and hot loops additionally guard on :attr:`NullTracer.enabled`,
+  so a disabled run executes the exact pre-instrumentation code path.
+- Exporters (:mod:`repro.obs.export`) — JSONL event log, Chrome
+  trace-event JSON (loadable in Perfetto / ``chrome://tracing``), and a
+  human-readable text report with per-stage and per-conversation rollups.
+- CLI surface — ``repro trace <experiment>`` and ``--trace-out`` flags on
+  ``simulate`` / ``bench`` (see :mod:`repro.cli`).
+"""
+
+from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
+from repro.obs.export import (
+    read_jsonl,
+    text_report,
+    to_chrome_trace,
+    to_jsonl,
+    write_trace_artifacts,
+)
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "read_jsonl",
+    "text_report",
+    "to_chrome_trace",
+    "to_jsonl",
+    "write_trace_artifacts",
+]

@@ -1,0 +1,298 @@
+"""Trace exporters: JSONL event log, Chrome trace-event JSON, text report.
+
+All exporters read a finished :class:`~repro.obs.tracer.Tracer`; none of
+them mutate it, so a run can be exported to every format.
+
+- **JSONL** — one JSON object per line, ``type`` discriminated
+  (``meta`` / ``span`` / ``event`` / ``gauge`` / ``counter``).  This is
+  the machine-readable ground truth: counters in the log reconcile
+  exactly with the cost/transfer models' own totals (asserted by
+  ``tests/obs/test_instrumentation.py``).
+- **Chrome trace-event JSON** — the ``traceEvents`` array format consumed
+  by Perfetto and ``chrome://tracing``.  Spans become complete (``"X"``)
+  events, instants become ``"i"`` events, gauge samples become counter
+  (``"C"``) tracks.  Timestamps are microseconds on the chosen clock.
+- **Text report** — per-stage (span name) and per-conversation rollups
+  plus counter totals and gauge min/mean/max, for reading in a terminal.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, IO, List, Optional, Union
+
+from repro.obs.tracer import Tracer
+
+#: Schema version stamped into the JSONL meta line and chrome metadata.
+SCHEMA_VERSION = 1
+
+_PathOrFile = Union[str, "os.PathLike[str]", IO[str]]
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce payload values to something ``json.dumps`` accepts."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def _span_record(span) -> Dict[str, Any]:
+    return {
+        "type": "span",
+        "id": span.id,
+        "parent": span.parent,
+        "name": span.name,
+        "t0": span.t0,
+        "t1": span.t1,
+        "wall0": round(span.wall0, 9),
+        "wall1": None if span.wall1 is None else round(span.wall1, 9),
+        "attrs": {k: _jsonable(v) for k, v in span.attrs.items()},
+    }
+
+
+def to_jsonl(tracer: Tracer, target: _PathOrFile) -> int:
+    """Write the full trace as JSON Lines; returns the line count."""
+    records: List[Dict[str, Any]] = [
+        {"type": "meta", "version": SCHEMA_VERSION, "format": "repro-trace-jsonl"}
+    ]
+    records.extend(_span_record(s) for s in tracer.spans)
+    for name, t, wall, parent, attrs in tracer.instants:
+        records.append(
+            {
+                "type": "event",
+                "name": name,
+                "t": t,
+                "wall": round(wall, 9),
+                "parent": parent,
+                "attrs": {k: _jsonable(v) for k, v in attrs.items()},
+            }
+        )
+    for name, t, wall, value in tracer.gauge_samples:
+        records.append(
+            {"type": "gauge", "name": name, "t": t, "wall": round(wall, 9),
+             "value": value}
+        )
+    for name in sorted(tracer.counters):
+        records.append(
+            {"type": "counter", "name": name, "total": tracer.counters[name]}
+        )
+    if hasattr(target, "write"):
+        for record in records:
+            target.write(json.dumps(record, sort_keys=True) + "\n")
+    else:
+        with open(target, "w", encoding="utf-8") as fh:
+            for record in records:
+                fh.write(json.dumps(record, sort_keys=True) + "\n")
+    return len(records)
+
+
+def read_jsonl(path: _PathOrFile) -> List[Dict[str, Any]]:
+    """Parse a JSONL trace back into record dicts (round-trip support)."""
+    if hasattr(path, "read"):
+        lines = path.read().splitlines()
+    else:
+        with open(path, "r", encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+    return [json.loads(line) for line in lines if line.strip()]
+
+
+def _track_of(span_or_attrs: Dict[str, Any]) -> str:
+    return str(span_or_attrs.get("track", "main"))
+
+
+def to_chrome_trace(
+    tracer: Tracer,
+    target: _PathOrFile,
+    time_axis: str = "sim",
+    pid: int = 1,
+) -> Dict[str, Any]:
+    """Write a Chrome trace-event JSON file; returns the document.
+
+    Args:
+        tracer: finished tracer.
+        time_axis: ``"sim"`` (primary clock, default) or ``"wall"``.
+        pid: process id stamped on every event.
+
+    Spans carrying a ``track`` attribute are grouped onto one named
+    thread-track each (Perfetto renders them as labelled rows); everything
+    else lands on the ``main`` track.
+    """
+    if time_axis not in ("sim", "wall"):
+        raise ValueError(f"time_axis must be 'sim' or 'wall', got {time_axis!r}")
+
+    def us(t_sim: float, t_wall: float) -> float:
+        return round((t_sim if time_axis == "sim" else t_wall) * 1e6, 3)
+
+    tracks: Dict[str, int] = {}
+
+    def tid(track: str) -> int:
+        if track not in tracks:
+            tracks[track] = len(tracks) + 1
+        return tracks[track]
+
+    events: List[Dict[str, Any]] = []
+    for span in tracer.spans:
+        t1 = span.t0 if span.t1 is None else span.t1
+        wall1 = span.wall0 if span.wall1 is None else span.wall1
+        start = us(span.t0, span.wall0)
+        events.append(
+            {
+                "name": span.name,
+                "cat": _track_of(span.attrs),
+                "ph": "X",
+                "ts": start,
+                "dur": max(0.0, us(t1, wall1) - start),
+                "pid": pid,
+                "tid": tid(_track_of(span.attrs)),
+                "args": {k: _jsonable(v) for k, v in span.attrs.items()
+                         if k != "track"},
+            }
+        )
+    for name, t, wall, _parent, attrs in tracer.instants:
+        events.append(
+            {
+                "name": name,
+                "cat": _track_of(attrs),
+                "ph": "i",
+                "s": "t",
+                "ts": us(t, wall),
+                "pid": pid,
+                "tid": tid(_track_of(attrs)),
+                "args": {k: _jsonable(v) for k, v in attrs.items() if k != "track"},
+            }
+        )
+    for name, t, wall, value in tracer.gauge_samples:
+        events.append(
+            {
+                "name": name,
+                "ph": "C",
+                "ts": us(t, wall),
+                "pid": pid,
+                "tid": 0,
+                "args": {"value": value},
+            }
+        )
+    # Counter totals ride along as metadata so the chrome file is
+    # self-contained even without the JSONL sibling.
+    for track, track_tid in sorted(tracks.items(), key=lambda kv: kv[1]):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "ts": 0,
+                "pid": pid,
+                "tid": track_tid,
+                "args": {"name": track},
+            }
+        )
+    document = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "format": "repro-trace-chrome",
+            "version": SCHEMA_VERSION,
+            "timeAxis": time_axis,
+            "counters": {k: tracer.counters[k] for k in sorted(tracer.counters)},
+        },
+    }
+    if hasattr(target, "write"):
+        json.dump(document, target, sort_keys=True)
+    else:
+        with open(target, "w", encoding="utf-8") as fh:
+            json.dump(document, fh, sort_keys=True)
+    return document
+
+
+def text_report(tracer: Tracer) -> str:
+    """Human-readable rollups: per-stage, per-conversation, counters, gauges."""
+    lines: List[str] = ["== trace report =="]
+
+    # Per-stage (span-name) rollup on the primary clock.
+    by_name: Dict[str, List[float]] = {}
+    wall_by_name: Dict[str, float] = {}
+    for span in tracer.spans:
+        by_name.setdefault(span.name, []).append(span.duration)
+        wall_by_name[span.name] = wall_by_name.get(span.name, 0.0) + span.wall_duration
+    if by_name:
+        lines.append("")
+        lines.append("-- stages --")
+        lines.append(
+            f"{'stage':<24} {'count':>7} {'total_t':>12} {'mean_t':>12} {'wall_s':>10}"
+        )
+        for name in sorted(by_name):
+            durations = by_name[name]
+            total = sum(durations)
+            lines.append(
+                f"{name:<24} {len(durations):>7} {total:>12.6f} "
+                f"{total / len(durations):>12.6f} {wall_by_name[name]:>10.4f}"
+            )
+
+    # Per-conversation rollup over request spans.
+    by_conv: Dict[Any, List[float]] = {}
+    for span in tracer.spans_named("request"):
+        conv = span.attrs.get("conv_id")
+        if conv is not None:
+            by_conv.setdefault(conv, []).append(span.duration)
+    if by_conv:
+        lines.append("")
+        lines.append("-- conversations (request spans) --")
+        lines.append(f"{'conv_id':>8} {'turns':>6} {'total_t':>12} {'mean_t':>12}")
+        for conv in sorted(by_conv, key=str):
+            durations = by_conv[conv]
+            total = sum(durations)
+            lines.append(
+                f"{str(conv):>8} {len(durations):>6} {total:>12.6f} "
+                f"{total / len(durations):>12.6f}"
+            )
+
+    counters = tracer.counters
+    if counters:
+        lines.append("")
+        lines.append("-- counters --")
+        for name in sorted(counters):
+            lines.append(f"{name:<40} {counters[name]:>16.1f}")
+
+    by_gauge: Dict[str, List[float]] = {}
+    for name, _t, _wall, value in tracer.gauge_samples:
+        by_gauge.setdefault(name, []).append(value)
+    if by_gauge:
+        lines.append("")
+        lines.append("-- gauges --")
+        lines.append(
+            f"{'gauge':<28} {'samples':>8} {'min':>12} {'mean':>12} {'max':>12}"
+        )
+        for name in sorted(by_gauge):
+            values = by_gauge[name]
+            lines.append(
+                f"{name:<28} {len(values):>8} {min(values):>12.1f} "
+                f"{sum(values) / len(values):>12.1f} {max(values):>12.1f}"
+            )
+    lines.append("")
+    return "\n".join(lines)
+
+
+def write_trace_artifacts(
+    tracer: Tracer,
+    outdir: Union[str, "os.PathLike[str]"],
+    prefix: str = "trace",
+    time_axis: str = "sim",
+    close_at: Optional[float] = None,
+) -> Dict[str, str]:
+    """Write all three artifacts into ``outdir``; returns format->path.
+
+    ``close_at`` closes spans still open (requests in flight at the
+    simulation horizon) before exporting.
+    """
+    tracer.close_open(t=close_at)
+    os.makedirs(outdir, exist_ok=True)
+    paths = {
+        "jsonl": os.path.join(outdir, f"{prefix}.jsonl"),
+        "chrome": os.path.join(outdir, f"{prefix}.chrome.json"),
+        "report": os.path.join(outdir, f"{prefix}.txt"),
+    }
+    to_jsonl(tracer, paths["jsonl"])
+    to_chrome_trace(tracer, paths["chrome"], time_axis=time_axis)
+    with open(paths["report"], "w", encoding="utf-8") as fh:
+        fh.write(text_report(tracer))
+    return paths

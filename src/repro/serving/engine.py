@@ -20,9 +20,10 @@ plus the cache-lifecycle hooks :meth:`_on_admit` / :meth:`_on_finish`.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, List, Optional, Sequence
+from typing import Callable, Deque, Dict, List, Optional, Sequence
 
 from repro.gpu.costmodel import CostModel
+from repro.obs.tracer import NULL_TRACER, NullTracer
 from repro.serving.batching import BatchConfig
 from repro.serving.metrics import MetricsCollector
 from repro.serving.request import Request, RequestState
@@ -39,6 +40,8 @@ class EngineBase:
         cost_model: converts batch shapes to iteration durations.
         config: batching/admission thresholds.
         keep_trace: retain full trace events (disable for large sweeps).
+        tracer: observability sink (:mod:`repro.obs`); the default null
+            tracer keeps every instrumentation site allocation-free.
     """
 
     def __init__(
@@ -48,6 +51,7 @@ class EngineBase:
         cost_model: CostModel,
         config: Optional[BatchConfig] = None,
         keep_trace: bool = False,
+        tracer: Optional[NullTracer] = None,
     ) -> None:
         self.name = name
         self.loop = loop
@@ -60,6 +64,9 @@ class EngineBase:
         self.failed: List[Request] = []
         self.metrics = MetricsCollector()
         self.trace = TraceRecorder(keep_events=keep_trace)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Open request-lifecycle span ids, by request id.
+        self._request_spans: Dict[int, int] = {}
         #: Called as ``on_finish(request, now)`` when a request completes;
         #: the workload driver uses it to schedule the next turn.
         self.on_finish: Optional[Callable[[Request, float], None]] = None
@@ -70,11 +77,31 @@ class EngineBase:
     # Public interface
     # ------------------------------------------------------------------
 
+    def set_tracer(self, tracer: NullTracer) -> None:
+        """Attach an observability tracer (before the simulation runs).
+
+        Subclasses propagate it to the components they own (cache
+        manager, PCIe engine); the base attaches the event loop.
+        """
+        self.tracer = tracer
+        self.loop.tracer = tracer
+
     def submit(self, request: Request) -> None:
         """Enqueue a request at the current simulated time."""
         request.state = RequestState.WAITING
         self.wait_queue.append(request)
         self.trace.record(self.loop.now, "submit", request_id=request.request_id)
+        if self.tracer.enabled:
+            self._request_spans[request.request_id] = self.tracer.begin(
+                "request",
+                t=self.loop.now,
+                track="requests",
+                request_id=request.request_id,
+                conv_id=request.conv_id,
+                turn=request.turn_index,
+                prompt_tokens=request.prompt_tokens,
+            )
+            self.tracer.gauge("queue.waiting", len(self.wait_queue), t=self.loop.now)
         self._kick()
 
     @property
@@ -111,10 +138,16 @@ class EngineBase:
             pass
         self.failed.append(request)
         self.metrics.faults.degraded_requests += 1
+        self.metrics.fail(request, now, reason)
         self._on_fail(request, now)
         self.trace.record(
             now, "request_fault", request_id=request.request_id, reason=reason
         )
+        if self.tracer.enabled:
+            self.tracer.count("requests.failed")
+            span = self._request_spans.pop(request.request_id, None)
+            if span is not None:
+                self.tracer.end(span, t=now, outcome="failed", reason=reason)
 
     def _on_fail(self, request: Request, now: float) -> None:
         """Release engine-specific state of a failed request (hook)."""
@@ -155,7 +188,54 @@ class EngineBase:
             batch_size=len(batch),
             duration=duration,
         )
+        if self.tracer.enabled:
+            self._trace_iteration(batch, self.loop.now, duration)
         self.loop.schedule_after(duration, self._complete, batch)
+
+    def _trace_iteration(
+        self, batch: Sequence[Request], now: float, duration: float
+    ) -> None:
+        """Emit the iteration span, its prefill/decode sub-spans, and the
+        per-iteration gauges.  Only called with a recording tracer."""
+        tracer = self.tracer
+        prefill = [r for r in batch if not r.prefill_done]
+        n_decode = len(batch) - len(prefill)
+        span = tracer.complete(
+            "iteration",
+            now,
+            now + duration,
+            track="engine",
+            batch_size=len(batch),
+            prefill_requests=len(prefill),
+            decode_requests=n_decode,
+        )
+        if prefill:
+            tracer.complete(
+                "prefill",
+                now,
+                now + duration,
+                parent=span,
+                track="engine",
+                requests=len(prefill),
+                tokens=sum(r.prefill_tokens for r in prefill),
+            )
+        if n_decode:
+            tracer.complete(
+                "decode",
+                now,
+                now + duration,
+                parent=span,
+                track="engine",
+                requests=n_decode,
+            )
+        tracer.count("engine.iterations")
+        tracer.gauge("batch.size", len(batch), t=now)
+        tracer.gauge("queue.waiting", len(self.wait_queue), t=now)
+        tracer.gauge("queue.running", len(self.running), t=now)
+        self._trace_gauges(now)
+
+    def _trace_gauges(self, now: float) -> None:
+        """Engine-specific per-iteration gauges (hook; tracer enabled)."""
 
     def _complete(self, batch: Sequence[Request]) -> None:
         now = self.loop.now
@@ -173,6 +253,16 @@ class EngineBase:
             self._on_finish(request, now)
             self.metrics.complete(request)
             self.trace.record(now, "finish", request_id=request.request_id)
+            if self.tracer.enabled:
+                self.tracer.count("requests.finished")
+                span = self._request_spans.pop(request.request_id, None)
+                if span is not None:
+                    self.tracer.end(
+                        span, t=now,
+                        outcome="finished",
+                        output_tokens=request.output_tokens,
+                        prefilled_tokens=request.prefill_tokens,
+                    )
             if self.on_finish is not None:
                 self.on_finish(request, now)
         if self.running or self.wait_queue:

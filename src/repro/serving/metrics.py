@@ -23,6 +23,7 @@ from repro.faults.plan import FaultCounters
 from repro.serving.request import Request
 
 __all__ = [
+    "FailureRecord",
     "FaultCounters",
     "MetricsCollector",
     "RequestRecord",
@@ -58,8 +59,16 @@ class StageTimings:
         self.counts[name] = self.counts.get(name, 0) + 1
 
     def mean(self, name: str) -> float:
-        """Mean seconds per recorded occurrence of ``name``."""
-        return self.totals[name] / self.counts[name]
+        """Mean seconds per recorded occurrence of ``name``.
+
+        A stage that was never recorded has spent no time: returns 0.0
+        rather than raising on the missing key, so report code can probe
+        optional stages (``swap``, ``recompute``) unconditionally.
+        """
+        count = self.counts.get(name, 0)
+        if count == 0:
+            return 0.0
+        return self.totals[name] / count
 
     def as_dict(self) -> Dict[str, float]:
         """Total seconds per stage, stage names sorted."""
@@ -101,12 +110,32 @@ class RequestRecord:
 
     @property
     def normalized_latency(self) -> float:
-        return self.latency / self.output_tokens
+        """Latency per output token; a zero-output request (possible for
+        degraded/truncated completions) is normalized by 1 token."""
+        return self.latency / max(1, self.output_tokens)
 
     @property
     def ttft(self) -> float:
         """Time to first token."""
         return self.first_token_time - self.arrival_time
+
+
+@dataclass(frozen=True)
+class FailureRecord:
+    """One individually-degraded request (retries exhausted)."""
+
+    request_id: int
+    conv_id: int
+    time: float
+    reason: str
+
+    def as_dict(self) -> dict:
+        return {
+            "request_id": self.request_id,
+            "conv_id": self.conv_id,
+            "time": round(self.time, 6),
+            "reason": self.reason,
+        }
 
 
 @dataclass(frozen=True)
@@ -125,10 +154,12 @@ class ServingStats:
     mean_latency: float
     total_prefilled_tokens: int
     total_output_tokens: int
+    num_failed: int = 0
 
     def as_dict(self) -> dict:
         return {
             "num_requests": self.num_requests,
+            "num_failed": self.num_failed,
             "duration_s": round(self.duration, 3),
             "throughput_rps": round(self.throughput_rps, 4),
             "token_throughput": round(self.token_throughput, 1),
@@ -137,7 +168,9 @@ class ServingStats:
             "p90_norm_latency_ms": round(self.p90_normalized_latency * 1e3, 2),
             "p99_norm_latency_ms": round(self.p99_normalized_latency * 1e3, 2),
             "mean_ttft_ms": round(self.mean_ttft * 1e3, 2),
+            "mean_latency_ms": round(self.mean_latency * 1e3, 2),
             "prefilled_tokens": self.total_prefilled_tokens,
+            "output_tokens": self.total_output_tokens,
         }
 
 
@@ -146,6 +179,7 @@ class MetricsCollector:
 
     def __init__(self) -> None:
         self._records: List[RequestRecord] = []
+        self._failures: List[FailureRecord] = []
         #: Degradation counters maintained by the engine's fault-recovery
         #: paths; all-zero when no fault plan is armed.
         self.faults = FaultCounters()
@@ -173,9 +207,25 @@ class MetricsCollector:
         self._records.append(record)
         return record
 
+    def fail(self, request: Request, now: float, reason: str) -> FailureRecord:
+        """Record an individually-degraded request (it never completes, so
+        it would otherwise be invisible to the collector)."""
+        record = FailureRecord(
+            request_id=request.request_id,
+            conv_id=request.conv_id,
+            time=now,
+            reason=reason,
+        )
+        self._failures.append(record)
+        return record
+
     @property
     def records(self) -> List[RequestRecord]:
         return list(self._records)
+
+    @property
+    def failures(self) -> List[FailureRecord]:
+        return list(self._failures)
 
     def __len__(self) -> int:
         return len(self._records)
@@ -204,6 +254,11 @@ class MetricsCollector:
             duration = max(finishes) or 1.0
         norm = np.array([r.normalized_latency for r in window])
         output_tokens = sum(r.output_tokens for r in window)
+        failed = sum(
+            1
+            for f in self._failures
+            if f.time > warmup and (until is None or f.time <= until)
+        )
         return ServingStats(
             num_requests=len(window),
             duration=duration,
@@ -217,4 +272,5 @@ class MetricsCollector:
             mean_latency=float(np.mean([r.latency for r in window])),
             total_prefilled_tokens=sum(r.prefilled_tokens for r in window),
             total_output_tokens=output_tokens,
+            num_failed=failed,
         )

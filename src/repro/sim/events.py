@@ -19,6 +19,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
+from repro.obs.tracer import NULL_TRACER
 from repro.sim.clock import Clock
 
 
@@ -53,12 +54,18 @@ class EventLoop:
     until the queue is empty or an optional horizon is reached.
     """
 
+    #: Gauge the event-queue depth every this many dispatches (traced runs).
+    TRACE_GAUGE_EVERY = 512
+
     def __init__(self) -> None:
         self._clock = Clock()
         self._queue: list[Event] = []
         self._seq = itertools.count()
         self._running = False
         self._dispatched = 0
+        #: Observability sink; the shared null tracer costs one attribute
+        #: check per dispatch when tracing is off.
+        self.tracer = NULL_TRACER
 
     @property
     def now(self) -> float:
@@ -131,6 +138,12 @@ class EventLoop:
                 event.callback(*event.args)
                 dispatched += 1
                 self._dispatched += 1
+                if self.tracer.enabled:
+                    self.tracer.count("sim.events_dispatched")
+                    if self._dispatched % self.TRACE_GAUGE_EVERY == 0:
+                        self.tracer.gauge(
+                            "sim.pending_events", self.pending, t=self._clock.now
+                        )
                 if max_events is not None and dispatched > max_events:
                     raise SimulationError(
                         f"dispatched more than max_events={max_events} events; "

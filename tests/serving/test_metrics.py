@@ -119,3 +119,67 @@ class TestFaultCounters:
         a, b = MetricsCollector(), MetricsCollector()
         a.faults.retries = 7
         assert b.faults.retries == 0
+
+
+class TestFailures:
+    def test_fail_records_and_counts(self):
+        collector = MetricsCollector()
+        req = finished_request(7, 0.0, 2.0)
+        record = collector.fail(req, now=1.5, reason="gpu_alloc")
+        assert record.request_id == 7
+        assert record.reason == "gpu_alloc"
+        assert collector.failures == [record]
+        assert record.as_dict()["reason"] == "gpu_alloc"
+
+    def test_stats_include_num_failed(self):
+        collector = MetricsCollector()
+        collector.complete(finished_request(1, 0.0, 2.0))
+        collector.fail(finished_request(2, 0.0, 9.9), now=1.0, reason="swap_in")
+        stats = collector.stats()
+        assert stats.num_failed == 1
+        assert stats.as_dict()["num_failed"] == 1
+
+    def test_failures_respect_warmup_and_until_windows(self):
+        collector = MetricsCollector()
+        collector.complete(finished_request(1, 0.0, 4.0))
+        collector.fail(finished_request(2, 0.0, 0.0), now=1.0, reason="early")
+        collector.fail(finished_request(3, 0.0, 0.0), now=6.0, reason="late")
+        assert collector.stats(warmup=2.0).num_failed == 1  # "early" excluded
+        assert collector.stats(until=5.0).num_failed == 1  # "late" excluded
+
+    def test_as_dict_has_throughput_and_latency_fields(self):
+        collector = MetricsCollector()
+        collector.complete(finished_request(1, 0.0, 2.0))
+        d = collector.stats().as_dict()
+        for key in ("token_throughput", "mean_latency_ms", "output_tokens",
+                    "num_failed"):
+            assert key in d
+
+
+class TestStageTimings:
+    def test_mean_of_unknown_stage_is_zero(self):
+        from repro.serving.metrics import StageTimings
+
+        timings = StageTimings()
+        assert timings.mean("never_recorded") == 0.0
+
+    def test_mean_after_recording(self):
+        from repro.serving.metrics import StageTimings
+
+        timings = StageTimings()
+        with timings.stage("x"):
+            pass
+        assert timings.mean("x") >= 0.0
+
+
+class TestNormalizedLatencyGuard:
+    def test_zero_output_tokens_does_not_divide_by_zero(self):
+        from repro.serving.metrics import RequestRecord
+
+        record = RequestRecord(
+            request_id=1, conv_id=1, turn_index=0,
+            arrival_time=0.0, finish_time=2.0, first_token_time=0.1,
+            prompt_tokens=5, history_tokens=0, output_tokens=0,
+            prefilled_tokens=5,
+        )
+        assert record.normalized_latency == pytest.approx(2.0)

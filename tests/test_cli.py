@@ -147,3 +147,60 @@ class TestFigures:
         out = capsys.readouterr().out
         for label in ("Figure 3", "Figure 4", "Figure 12", "Table 2"):
             assert label in out
+
+
+class TestTrace:
+    def test_trace_simulate_writes_artifacts(self, capsys, tmp_path):
+        import json
+
+        out_dir = tmp_path / "traces"
+        rc = main(
+            [
+                "trace", "simulate", "--rate", "2", "--duration", "40",
+                "--seed", "3", "--out", str(out_dir),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "throughput_rps" in out
+        chrome = json.loads((out_dir / "trace_simulate.chrome.json").read_text())
+        events = chrome["traceEvents"]
+        assert any(e["ph"] == "X" and e["name"] == "request" for e in events)
+        for event in events:
+            assert "ph" in event and "ts" in event and "pid" in event
+        jsonl = (out_dir / "trace_simulate.jsonl").read_text().splitlines()
+        assert all(json.loads(line) for line in jsonl)
+        assert (out_dir / "trace_simulate.txt").read_text().startswith(
+            "== trace report =="
+        )
+
+    def test_simulate_trace_out_flag(self, capsys, tmp_path):
+        out_dir = tmp_path / "t"
+        rc = main(
+            [
+                "simulate", "--system", "pensieve", "--model", "opt-13b",
+                "--rate", "2", "--duration", "30", "--seed", "3",
+                "--trace-out", str(out_dir),
+            ]
+        )
+        assert rc == 0
+        assert (out_dir / "trace_simulate.chrome.json").exists()
+        assert (out_dir / "trace_simulate.jsonl").exists()
+
+    def test_bench_trace_out_flag(self, capsys, tmp_path):
+        import json
+
+        out_dir = tmp_path / "b"
+        rc = main(
+            [
+                "bench", "--quick", "--repeats", "1",
+                "--output", str(tmp_path / "bench.json"),
+                "--trace-out", str(out_dir),
+            ]
+        )
+        assert rc == 0
+        chrome = json.loads((out_dir / "trace_bench.chrome.json").read_text())
+        names = {
+            e["name"] for e in chrome["traceEvents"] if e["ph"] == "X"
+        }
+        assert any(name.startswith("bench.") for name in names)
