@@ -16,10 +16,18 @@ def test_quick_suite_equivalent_and_schema_stable(tmp_path):
     results = run_all(quick=True, seed=0, repeats=1)
 
     families = {x.family for x in results}
-    assert families == {"decode", "prefill", "mixed", "e2e", "storage"}
+    assert families == {"decode", "prefill", "mixed", "e2e", "storage", "swap"}
     assert all(x.equivalent for x in results), format_table(results)
     assert all(x.max_abs_diff <= TOLERANCE for x in results)
     assert all(x.optimized_s > 0 and x.reference_s > 0 for x in results)
+
+    # The ragged kernel and the coalesced swap path are represented and
+    # bit-exact where exactness is promised (swap moves bytes verbatim).
+    ragged = [x for x in results if x.optimized == "ragged_multi_token_attention"]
+    assert ragged and any(x.family == "prefill" for x in ragged)
+    assert any(x.family == "mixed" for x in ragged)
+    swap = [x for x in results if x.family == "swap"]
+    assert swap and all(x.max_abs_diff == 0.0 for x in swap)
 
     summary = summarize(results)
     assert summary["all_equivalent"] is True

@@ -9,7 +9,10 @@ consumed by CI and tracked across PRs.
 
 from repro.bench.harness import (
     BenchResult,
+    MIN_SPEEDUP,
+    MIN_THRESHOLD_BATCH,
     TOLERANCE,
+    check_thresholds,
     format_table,
     run_all,
     write_json,
@@ -17,7 +20,10 @@ from repro.bench.harness import (
 
 __all__ = [
     "BenchResult",
+    "MIN_SPEEDUP",
+    "MIN_THRESHOLD_BATCH",
     "TOLERANCE",
+    "check_thresholds",
     "format_table",
     "run_all",
     "write_json",

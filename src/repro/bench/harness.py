@@ -16,7 +16,15 @@ Scenario families:
 - ``e2e``     — full :class:`~repro.model.transformer.PagedTransformer`
   steps with fast paths on vs off, with per-stage wall time;
 - ``storage`` — the CPU-store CRC re-verification priced by reading the
-  same chunks with ``verify_on_read`` on and off.
+  same chunks with ``verify_on_read`` on and off;
+- ``swap``    — the coalesced multi-chunk swap-in data path
+  (``pop_many`` + ``write_slots_stacked``) vs the per-chunk
+  pop/write loop it replaced.
+
+The ``prefill``/``mixed`` families carry both the vectorized kernel and
+the fully-ragged one (``ragged_multi_token_attention``); ragged scenarios
+are named ``*/ragged*`` and, together with the ``swap`` family, are
+subject to the CI speedup floor (:func:`check_thresholds`).
 
 Timings take the best of ``repeats`` runs (after one warmup) to suppress
 scheduler noise; all *structure* in the output — scenario list, shapes,
@@ -37,6 +45,7 @@ from repro.kernels import (
     AttentionRequest,
     batched_single_token_attention,
     multi_token_attention,
+    ragged_multi_token_attention,
     single_token_attention,
     vectorized_multi_token_attention,
 )
@@ -49,7 +58,14 @@ from repro.serving.metrics import StageTimings
 TOLERANCE = 1e-6
 
 #: Schema version of ``BENCH_kernels.json``.
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+
+#: CI floor: thresholded scenarios (ragged kernel + coalesced swap, at
+#: ``batch >= MIN_THRESHOLD_BATCH``) must beat this speedup or
+#: :func:`check_thresholds` reports them and ``repro bench
+#: --enforce-thresholds`` exits non-zero.
+MIN_SPEEDUP = 1.5
+MIN_THRESHOLD_BATCH = 8
 
 
 @dataclass
@@ -78,6 +94,23 @@ def _best_of(fn: Callable[[], object], repeats: int) -> float:
     fn()
     best = float("inf")
     for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _best_of_stateful(
+    setup: Callable[[], object], fn: Callable[[], object], repeats: int
+) -> float:
+    """Like :func:`_best_of` for consuming operations: ``setup`` re-arms
+    the state ``fn`` destroys (e.g. refills a chunk store that ``fn``
+    pops) before every timed call and is excluded from the timing."""
+    setup()
+    fn()
+    best = float("inf")
+    for _ in range(repeats):
+        setup()
         start = time.perf_counter()
         fn()
         best = min(best, time.perf_counter() - start)
@@ -141,15 +174,27 @@ def _make_requests(
     ctx_lens: Sequence[int],
     num_heads: int,
     head_dim: int,
+    query_offsets: Optional[Sequence[Optional[int]]] = None,
 ) -> List[AttentionRequest]:
-    """Scattered requests with disjoint random slot sets."""
+    """Scattered requests with disjoint random slot sets.
+
+    ``query_offsets[i]``, when given and not ``None``, positions request
+    ``i``'s queries away from the context tail — the Figure 8(d)
+    dropped-prefix recompute sub-request shape.
+    """
     perm = rng.permutation(num_slots)
     requests, used = [], 0
-    for q_len, ctx in zip(q_lens, ctx_lens):
+    for i, (q_len, ctx) in enumerate(zip(q_lens, ctx_lens)):
         slots = list(perm[used : used + ctx])
         used += ctx
         query = rng.standard_normal((q_len, num_heads, head_dim))
-        requests.append(AttentionRequest(query=query, slots=slots))
+        offset = query_offsets[i] if query_offsets is not None else None
+        if offset is None:
+            requests.append(AttentionRequest(query=query, slots=slots))
+        else:
+            requests.append(
+                AttentionRequest(query=query, slots=slots, query_offset=offset)
+            )
     return requests
 
 
@@ -225,6 +270,133 @@ def bench_multi_token_kernel(
             repeats,
         ),
         max_abs_diff=_max_diff(ref, opt),
+    )
+
+
+def bench_ragged_kernel(
+    name: str,
+    family: str,
+    q_lens: Sequence[int],
+    ctx_lens: Sequence[int],
+    num_heads: int,
+    kv_heads: int,
+    head_dim: int,
+    repeats: int,
+    seed: int,
+    query_offsets: Optional[Sequence[Optional[int]]] = None,
+) -> BenchResult:
+    """Fully-ragged batched kernel vs the tiled per-request oracle.
+
+    ``query_offsets`` builds Figure 8(d) recompute-split sub-requests
+    (queries positioned before the context tail).
+    """
+    rng = np.random.default_rng(seed)
+    num_slots = int(sum(ctx_lens))
+    k_cache, v_cache = _make_cache(rng, num_slots, kv_heads, head_dim)
+    requests = _make_requests(
+        rng, num_slots, q_lens, ctx_lens, num_heads, head_dim, query_offsets
+    )
+    ref = multi_token_attention(requests, k_cache, v_cache)
+    opt = ragged_multi_token_attention(requests, k_cache, v_cache)
+    return _result(
+        name,
+        family,
+        "multi_token_attention",
+        "ragged_multi_token_attention",
+        batch=len(requests),
+        tokens_per_call=int(sum(q_lens)),
+        reference_s=_best_of(
+            lambda: multi_token_attention(requests, k_cache, v_cache), repeats
+        ),
+        optimized_s=_best_of(
+            lambda: ragged_multi_token_attention(requests, k_cache, v_cache),
+            repeats,
+        ),
+        max_abs_diff=_max_diff(ref, opt),
+    )
+
+
+def bench_swap_restore(
+    name: str,
+    num_chunks: int,
+    chunk_tokens: int,
+    num_layers: int,
+    kv_heads: int,
+    head_dim: int,
+    repeats: int,
+    seed: int,
+) -> BenchResult:
+    """Coalesced multi-chunk swap-in vs the per-chunk restore loop.
+
+    The reference is the data path this PR replaced: one
+    ``CpuChunkStore.pop`` + ``KVStorage.write_all_layers`` per chunk.
+    The optimized path moves the whole batch with one ``pop_many`` and
+    one stacked scatter.  The CRC re-check is identical work in both
+    paths and is priced separately by ``storage/crc-read``, so the
+    stores run with ``verify_on_read=False`` to isolate the data
+    movement.  Equivalence is bit-exactness of the final KV arrays.
+    """
+    rng = np.random.default_rng(seed)
+    total = num_chunks * chunk_tokens
+    config = tiny_llama_config(
+        num_layers=num_layers,
+        hidden_size=8 * head_dim,
+        num_heads=8,
+        num_kv_heads=kv_heads,
+    )
+    # Scattered (post-eviction) slot layout: chunks own disjoint random
+    # slot sets, matching what restore_front hands the real server.
+    perm = rng.permutation(total)
+    groups = [
+        perm[i * chunk_tokens : (i + 1) * chunk_tokens].astype(np.int64)
+        for i in range(num_chunks)
+    ]
+    datas = [
+        (
+            rng.standard_normal((num_layers, chunk_tokens, kv_heads, head_dim)),
+            rng.standard_normal((num_layers, chunk_tokens, kv_heads, head_dim)),
+        )
+        for _ in range(num_chunks)
+    ]
+
+    ref_store = CpuChunkStore(total, verify_on_read=False)
+    opt_store = CpuChunkStore(total, verify_on_read=False)
+    ref_storage = KVStorage(config, num_slots=total, dtype=np.float64)
+    opt_storage = KVStorage(config, num_slots=total, dtype=np.float64)
+
+    def fill(store: CpuChunkStore) -> None:
+        for i, (k, v) in enumerate(datas):
+            store.put(0, i, k, v)
+
+    def run_per_chunk() -> None:
+        for i, slots in enumerate(groups):
+            k, v = ref_store.pop(0, i)
+            ref_storage.write_all_layers(list(slots), k, v)
+
+    def run_coalesced() -> None:
+        popped, _ = opt_store.pop_many(0, list(range(num_chunks)))
+        opt_storage.write_slots_stacked(groups, [data for _, data in popped])
+
+    reference_s = _best_of_stateful(
+        lambda: fill(ref_store), run_per_chunk, repeats
+    )
+    optimized_s = _best_of_stateful(
+        lambda: fill(opt_store), run_coalesced, repeats
+    )
+    max_abs_diff = max(
+        float(np.abs(ref_storage.k - opt_storage.k).max()),
+        float(np.abs(ref_storage.v - opt_storage.v).max()),
+    )
+    return _result(
+        name,
+        "swap",
+        "CpuChunkStore.pop + write_all_layers [per chunk]",
+        "pop_many + write_slots_stacked [coalesced]",
+        batch=num_chunks,
+        tokens_per_call=total,
+        reference_s=reference_s,
+        optimized_s=optimized_s,
+        max_abs_diff=max_abs_diff,
     )
 
 
@@ -439,6 +611,26 @@ def run_all(
         )
     )
 
+    # --- prefill: fully-ragged kernel vs the tiled oracle ---------------
+    # Shapes where the one-shot padded pack wins big: uniform and
+    # moderately-uneven prompt batches at a paper-scale head size.
+    rq, rc = (16, 64) if quick else (32, 128)
+    results.append(
+        run(
+            bench_ragged_kernel,
+            "prefill/ragged/b8", "prefill", [rq] * 8, [rc] * 8, heads, 2,
+            head_dim, r, seed,
+        )
+    )
+    uneven_q = [rq // 8 * s for s in (1, 2, 3, 4, 5, 6, 7, 8)]
+    results.append(
+        run(
+            bench_ragged_kernel,
+            "prefill/ragged-uneven/b8", "prefill", uneven_q, [rc] * 8, heads,
+            2, head_dim, r, seed,
+        )
+    )
+
     # --- mixed: unified prefill + generation batch ----------------------
     results.append(
         run(
@@ -448,6 +640,27 @@ def run_all(
             [q, q, 1, 1, 1, 1, 1, 1],
             [c, c, c, c, c, c, c, c],
             heads, 2, head_dim, r, seed,
+        )
+    )
+    # Ragged unified batches at the tiny-model head size (hidden 64 / 8
+    # heads), where per-request dispatch dominates the oracle.
+    mq, mc = (4, 32) if quick else (8, 64)
+    results.append(
+        run(
+            bench_ragged_kernel,
+            "mixed/ragged/b16-d8", "mixed", [mq, mq] + [1] * 14, [mc] * 16,
+            heads, 2, 8, r, seed,
+        )
+    )
+    # Figure 8(d) recompute splits: four dropped-prefix sub-requests
+    # (queries at context position 0, segment-masked) inside a
+    # decode-heavy unified batch.
+    results.append(
+        run(
+            bench_ragged_kernel,
+            "mixed/ragged-split/b16", "mixed", [mq] * 4 + [1] * 12, [mc] * 16,
+            heads, 2, 8, r, seed,
+            query_offsets=[0] * 4 + [None] * 12,
         )
     )
 
@@ -482,7 +695,54 @@ def run_all(
             seed=seed,
         )
     )
+
+    # --- swap: coalesced two-tier swap-in data path ---------------------
+    swap_cfgs = [("swap/restore/c32-t8", 32)]
+    if not quick:
+        swap_cfgs.append(("swap/restore/c64-t8", 64))
+    for swap_name, chunks in swap_cfgs:
+        results.append(
+            run(
+                bench_swap_restore,
+                swap_name,
+                num_chunks=chunks,
+                chunk_tokens=8,
+                num_layers=2,
+                kv_heads=2,
+                head_dim=8,
+                repeats=r,
+                seed=seed,
+            )
+        )
     return results
+
+
+def check_thresholds(
+    results: Sequence[BenchResult],
+    min_speedup: float = MIN_SPEEDUP,
+    min_batch: int = MIN_THRESHOLD_BATCH,
+) -> List[str]:
+    """CI speedup floor over the scenarios this PR is accountable for.
+
+    The ragged-kernel scenarios and the coalesced-swap family at
+    ``batch >= min_batch`` must each beat ``min_speedup``; anything
+    below is a perf regression.  Returns human-readable failure lines
+    (empty list = pass).  Other families (decode/e2e/storage and the
+    vectorized-kernel rows) are tracked but not gated here.
+    """
+    failures = []
+    for x in results:
+        gated = (
+            x.optimized == "ragged_multi_token_attention" or x.family == "swap"
+        )
+        if not gated or x.batch < min_batch:
+            continue
+        if x.speedup < min_speedup:
+            failures.append(
+                f"{x.name}: speedup {x.speedup:.2f}x below the "
+                f"{min_speedup:.2f}x floor (batch {x.batch})"
+            )
+    return failures
 
 
 def summarize(results: Sequence[BenchResult]) -> Dict[str, object]:
@@ -494,8 +754,11 @@ def summarize(results: Sequence[BenchResult]) -> Dict[str, object]:
     return {
         "decode_kernel_best_speedup": round(best("decode"), 2),
         "prefill_kernel_best_speedup": round(best("prefill"), 2),
+        "mixed_kernel_best_speedup": round(best("mixed"), 2),
         "e2e_best_speedup": round(best("e2e"), 2),
+        "swap_best_speedup": round(best("swap"), 2),
         "all_equivalent": all(x.equivalent for x in results),
+        "thresholds_ok": not check_thresholds(results),
     }
 
 
@@ -511,6 +774,11 @@ def write_json(
         "quick": quick,
         "seed": seed,
         "tolerance": TOLERANCE,
+        "thresholds": {
+            "min_speedup": MIN_SPEEDUP,
+            "min_batch": MIN_THRESHOLD_BATCH,
+            "failures": check_thresholds(results),
+        },
         "summary": summarize(results),
         "results": [asdict(x) for x in results],
     }
@@ -539,8 +807,12 @@ def format_table(results: Sequence[BenchResult]) -> str:
         "best speedups: "
         f"decode {summary['decode_kernel_best_speedup']}x, "
         f"prefill {summary['prefill_kernel_best_speedup']}x, "
-        f"e2e {summary['e2e_best_speedup']}x; "
+        f"mixed {summary['mixed_kernel_best_speedup']}x, "
+        f"e2e {summary['e2e_best_speedup']}x, "
+        f"swap {summary['swap_best_speedup']}x; "
         f"equivalence {'OK' if summary['all_equivalent'] else 'FAILED'} "
         f"(tolerance {TOLERANCE})"
     )
+    for failure in check_thresholds(results):
+        lines.append(f"THRESHOLD FAILED: {failure}")
     return "\n".join(lines)

@@ -216,7 +216,7 @@ def cmd_figures(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
-    from repro.bench import format_table, run_all, write_json
+    from repro.bench import check_thresholds, format_table, run_all, write_json
 
     tracer = _make_tracer(args)
     results = run_all(
@@ -231,6 +231,12 @@ def cmd_bench(args: argparse.Namespace) -> int:
     if not all(x.equivalent for x in results):
         print("ERROR: vectorized kernels diverged from the reference", flush=True)
         return 1
+    if args.enforce_thresholds:
+        failures = check_thresholds(results)
+        if failures:
+            for failure in failures:
+                print(f"ERROR: {failure}", flush=True)
+            return 1
     return 0
 
 
@@ -342,6 +348,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--seed", type=int, default=0)
     bench.add_argument("--repeats", type=int, default=None,
                        help="override per-scenario repeat count")
+    bench.add_argument("--enforce-thresholds", action="store_true",
+                       help="exit non-zero if any gated scenario (ragged "
+                            "kernels, coalesced swap; batch >= 8) falls "
+                            "below the 1.5x speedup floor")
     bench.add_argument("--trace-out", default=None, metavar="DIR",
                        help="record per-scenario wall-clock spans and write "
                             "the trace artifacts here")

@@ -239,8 +239,14 @@ class PensieveEngine(EngineBase):
     def _suspend(self, victim: Request, now: float) -> None:
         copied, dropped = self.manager.release_conversation_gpu(victim.conv_id, now)
         if copied:
+            # Coalesced: all of the victim's chunks cross as one DMA op.
+            # Copied chunks are full-size except at most the tail, so the
+            # ceiling division recovers the exact chunk count.
+            chunk_size = self.manager.chunk_size
             self.pcie.swap_out(
-                now, copied * self.model_config.kv_bytes_per_token
+                now,
+                copied * self.model_config.kv_bytes_per_token,
+                num_chunks=(copied + chunk_size - 1) // chunk_size,
             )
         victim.state = RequestState.WAITING
         self.running.remove(victim)
@@ -328,7 +334,10 @@ class PensieveEngine(EngineBase):
             plan = self._swap_in_with_faults(request, plan, now)
         if plan.swap_in_tokens > 0:
             swap_bytes = plan.swap_in_tokens * self.model_config.kv_bytes_per_token
-            record = self.pcie.swap_in(now, swap_bytes)
+            # One coalesced H2D transfer for every chunk in the plan.
+            record = self.pcie.swap_in(
+                now, swap_bytes, num_chunks=len(plan.swap_in_chunks)
+            )
             self._iter_swap_in_seconds = max(
                 self._iter_swap_in_seconds, record.end_time - now
             )
@@ -428,7 +437,9 @@ class PensieveEngine(EngineBase):
         copied_tokens = sum(c.num_tokens for c in copied)
         if copied_tokens:
             record = self.pcie.swap_out(
-                now, copied_tokens * self.model_config.kv_bytes_per_token
+                now,
+                copied_tokens * self.model_config.kv_bytes_per_token,
+                num_chunks=len(copied),
             )
             self._log_copy(record.end_time, copied_tokens)
             self.trace.record(now, "demand_swap_out", tokens=copied_tokens)
@@ -504,7 +515,9 @@ class PensieveEngine(EngineBase):
         copied_tokens = sum(c.num_tokens for c in copied)
         if copied_tokens:
             record = self.pcie.swap_out(
-                now, copied_tokens * self.model_config.kv_bytes_per_token
+                now,
+                copied_tokens * self.model_config.kv_bytes_per_token,
+                num_chunks=len(copied),
             )
             self._log_copy(record.end_time, copied_tokens)
             self.trace.record(now, "aot_swap_out", tokens=copied_tokens)

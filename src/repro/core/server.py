@@ -20,7 +20,8 @@ tokens as one with abundant memory.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -142,7 +143,13 @@ class StatefulChatServer:
         # Shared system-prompt state (paper footnote 3): prefilled once,
         # pinned forever, prepended to every conversation's context.
         self._system_slots: List[int] = []
+        self._system_slots_arr: np.ndarray = np.empty(0, dtype=np.int64)
         self._system_ids: List[int] = []
+        # Deferred ahead-of-time D2H copies: inside a ``_coalesce_copies``
+        # scope, GPU->CPU-bound chunks queue ``(conv_id, chunk_index,
+        # slots)`` here and cross as ONE stacked gather + batched insert
+        # at scope exit.  ``None`` = no scope active (copy immediately).
+        self._pending_copies: Optional[List[Tuple[int, int, np.ndarray]]] = None
         #: Observability sink (``repro.obs``); the null default keeps the
         #: serving path allocation-free when tracing is off.
         self.tracer = NULL_TRACER
@@ -168,28 +175,49 @@ class StatefulChatServer:
         table = self._tables[cache.conv_id]
         if old is ChunkLocation.GPU and new is ChunkLocation.GPU_CPU:
             # Ahead-of-time copy: data lands in the CPU store, pages stay.
-            slots = table.slots(chunk.start, chunk.end)
-            k, v = self.storage.read_all_layers(slots)
-            self.cpu_store.put(cache.conv_id, chunk.index, k, v)
+            # Inside a coalescing scope the copy is deferred: the slots
+            # are captured now (nothing can reallocate them before the
+            # flush) and the data crosses with the batched transfer.
+            slots = table.slots_array(chunk.start, chunk.end)
+            if self._pending_copies is not None:
+                self._pending_copies.append((cache.conv_id, chunk.index, slots))
+            else:
+                k, v = self.storage.read_all_layers(slots)
+                self.cpu_store.put(cache.conv_id, chunk.index, k, v)
         elif old is ChunkLocation.GPU_CPU and new is ChunkLocation.CPU:
             # Reclaim: the pages are handed back (data only in CPU now).
+            # A still-pending deferred copy stays valid: the KVStorage
+            # rows are untouched until the pages are *re-allocated*,
+            # which cannot happen inside a coalescing scope.
             table.vacate_front(chunk.num_tokens)
         elif old is ChunkLocation.GPU_CPU and new is ChunkLocation.GPU:
             # Promotion on reuse: invalidate the (stale-to-be) CPU copy.
+            # If that copy is still queued in the coalescing scope, flush
+            # first so the store and its counters see the same put+drop
+            # sequence as the per-chunk path.
+            if self._has_pending_copy(cache.conv_id, chunk.index):
+                self._flush_pending_copies()
             self.cpu_store.drop(cache.conv_id, chunk.index)
         elif old is ChunkLocation.GPU and new is ChunkLocation.CPU:
             # Suspension path: copy and vacate in one go.
-            slots = table.slots(chunk.start, chunk.end)
-            k, v = self.storage.read_all_layers(slots)
-            self.cpu_store.put(cache.conv_id, chunk.index, k, v)
+            slots = table.slots_array(chunk.start, chunk.end)
+            if self._pending_copies is not None:
+                self._pending_copies.append((cache.conv_id, chunk.index, slots))
+            else:
+                k, v = self.storage.read_all_layers(slots)
+                self.cpu_store.put(cache.conv_id, chunk.index, k, v)
             table.vacate_front(chunk.num_tokens)
         elif old is ChunkLocation.GPU and new is ChunkLocation.DROPPED:
             table.vacate_front(chunk.num_tokens)
         elif old is ChunkLocation.GPU_CPU and new is ChunkLocation.DROPPED:
             # Pressure fallback: discard both the GPU slots and the copy.
+            if self._has_pending_copy(cache.conv_id, chunk.index):
+                self._flush_pending_copies()
             self.cpu_store.drop(cache.conv_id, chunk.index)
             table.vacate_front(chunk.num_tokens)
         elif old is ChunkLocation.CPU and new is ChunkLocation.DROPPED:
+            if self._has_pending_copy(cache.conv_id, chunk.index):
+                self._flush_pending_copies()
             # The entry may already be gone when a partially-popped swap-in
             # prefix is being invalidated after a corrupt read.
             if self.cpu_store.contains(cache.conv_id, chunk.index):
@@ -202,6 +230,57 @@ class StatefulChatServer:
             pass  # recomputation fills the restored slots during prefill
         else:  # pragma: no cover - no other legal transition exists
             raise AssertionError(f"unexpected transition {old} -> {new}")
+
+    # ------------------------------------------------------------------
+    # Coalesced D2H copy path (stacked gather + batched CPU-store insert)
+    # ------------------------------------------------------------------
+
+    def _has_pending_copy(self, conv_id: int, chunk_index: int) -> bool:
+        return bool(self._pending_copies) and any(
+            c == conv_id and i == chunk_index
+            for c, i, _ in self._pending_copies
+        )
+
+    def _flush_pending_copies(self) -> None:
+        """Move every deferred chunk copy to the CPU store as ONE stacked
+        all-layer gather and one batched insert."""
+        pending = self._pending_copies
+        if not pending:
+            return
+        self._pending_copies = []
+        data = self.storage.read_slots_stacked(
+            [slots for _, _, slots in pending]
+        )
+        self.cpu_store.put_many(
+            [
+                (conv_id, chunk_index, k, v)
+                for (conv_id, chunk_index, _), (k, v) in zip(pending, data)
+            ]
+        )
+
+    @contextmanager
+    def _coalesce_copies(self) -> Iterator[None]:
+        """Scope within which ahead-of-time D2H chunk copies coalesce.
+
+        Tier transitions fired by the manager inside the scope queue
+        their copies instead of moving one chunk at a time; the flush at
+        scope exit performs a single stacked transfer.  Deferral is safe
+        because no GPU page can be re-allocated before the flush: page
+        allocation (``restore_front`` / ``append_tokens``) only happens
+        after the capacity-making calls the scope wraps.  Re-entrant —
+        an inner scope defers to the outer one's flush.
+        """
+        if self._pending_copies is not None:
+            yield
+            return
+        self._pending_copies = []
+        try:
+            yield
+        finally:
+            try:
+                self._flush_pending_copies()
+            finally:
+                self._pending_copies = None
 
     # ------------------------------------------------------------------
     # Shared system prompt (paper footnote 3)
@@ -253,6 +332,7 @@ class StatefulChatServer:
         table.append_tokens(len(ids))
         self._tables[self.SYSTEM_CONV_ID] = table
         self._system_slots = table.slots(0, len(ids))
+        self._system_slots_arr = np.asarray(self._system_slots, dtype=np.int64)
         self._system_ids = ids
 
         # Prefill once; every later request reuses the cached KV rows.
@@ -262,9 +342,11 @@ class StatefulChatServer:
         )
         self.model.forward([request])
 
-    def _full_context(self, table: BlockTable) -> List[int]:
+    def _full_context(self, table: BlockTable) -> np.ndarray:
         """System-prompt slots followed by the conversation's own slots."""
-        return self._system_slots + table.slots(0, table.length)
+        return np.concatenate(
+            [self._system_slots_arr, table.slots_array(0, table.length)]
+        )
 
     # ------------------------------------------------------------------
     # Fault handling
@@ -472,29 +554,38 @@ class StatefulChatServer:
 
         # Make room (may evict other conversations — the observer moves
         # their tensors; reclaim happens lazily inside commit_restore).
-        self.manager.ensure_capacity(plan.alloc_tokens, now)
-        self.manager.reclaim(
-            max(0, plan.alloc_tokens - self.manager.gpu_free_tokens),
-            now,
-            exclude=conv_id,
-        )
+        # Ahead-of-time copies fired in here coalesce into one stacked
+        # gather + batched CPU-store insert at scope exit.
+        with self._coalesce_copies():
+            self.manager.ensure_capacity(plan.alloc_tokens, now)
+            self.manager.reclaim(
+                max(0, plan.alloc_tokens - self.manager.gpu_free_tokens),
+                now,
+                exclude=conv_id,
+            )
 
         # Pull the swap-in chunks' data out of the CPU store *before*
         # commit flips their state (the observer drops CPU entries on
         # promotion of GPU_CPU chunks only; CPU->GPU data is handled here).
+        # All chunks move in ONE coalesced batch; each is still CRC
+        # re-verified individually against its insertion-time checksum.
         # Capture ranges now: commit_restore may extend the partial tail
         # chunk in place, but the stored data covers the pre-extension
-        # token range.  Every read re-verifies the insertion-time checksum.
+        # token range.
         restored_data = []
         corrupt_upto: Optional[Chunk] = None
-        for chunk in plan.swap_in_chunks:
-            try:
-                restored_data.append(
-                    (chunk.start, chunk.end, self.cpu_store.pop(conv_id, chunk.index))
-                )
-            except ChunkCorruptionError:
-                self.fault_counters.corrupted_chunks += 1
-                corrupt_upto = chunk
+        if plan.swap_in_chunks:
+            by_index = {chunk.index: chunk for chunk in plan.swap_in_chunks}
+            popped, corrupt = self.cpu_store.pop_many(
+                conv_id, [chunk.index for chunk in plan.swap_in_chunks]
+            )
+            self.fault_counters.corrupted_chunks += len(corrupt)
+            if corrupt:
+                corrupt_upto = by_index[corrupt[-1]]
+            restored_data = [
+                (by_index[index].start, by_index[index].end, data)
+                for index, data in popped
+            ]
         if corrupt_upto is not None:
             # Checksum caught host-side corruption: invalidate the CPU
             # prefix through the (last) corrupt chunk — the Figure 5
@@ -520,9 +611,12 @@ class StatefulChatServer:
         restore_tokens = plan.recompute_tokens + plan.swap_in_tokens
         if restore_tokens:
             table.restore_front(restore_tokens)
-        for start, end, (k, v) in restored_data:
-            slots = table.slots(start, end)
-            self.storage.write_all_layers(slots, k, v)
+        if restored_data:
+            # One stacked scatter instead of a write per chunk.
+            self.storage.write_slots_stacked(
+                [table.slots_array(start, end) for start, end, _ in restored_data],
+                [data for _, _, data in restored_data],
+            )
         table.append_tokens(len(prompt_ids))
 
         # Figure 8(a): recomputed raw tokens are prepended to the prompt.
@@ -545,7 +639,8 @@ class StatefulChatServer:
             self._abort_conversation(conv_id)
             raise self._fail_request(conv_id, FaultSite.GPU_ALLOC, attempts)
         if self.manager.gpu_available_tokens < 1:
-            self.manager.ensure_capacity(1, now)
+            with self._coalesce_copies():
+                self.manager.ensure_capacity(1, now)
         self.manager.append_tokens(conv_id, 1)
         table.append_tokens(1)
 

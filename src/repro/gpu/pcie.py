@@ -38,13 +38,20 @@ class Direction(enum.Enum):
 
 @dataclass(frozen=True)
 class TransferRecord:
-    """Outcome of one enqueued transfer."""
+    """Outcome of one enqueued transfer.
+
+    ``num_chunks`` records how many KV chunks the transfer coalesced:
+    the two-tier manager moves multi-chunk batches as ONE DMA operation
+    (one record, one queueing decision, one latency term) rather than
+    one per chunk.
+    """
 
     direction: Direction
     num_bytes: float
     enqueue_time: float
     start_time: float
     end_time: float
+    num_chunks: int = 1
 
     @property
     def duration(self) -> float:
@@ -95,15 +102,25 @@ class PcieEngine:
         return self._busy_until[direction]
 
     def transfer(
-        self, now: float, num_bytes: float, direction: Direction
+        self,
+        now: float,
+        num_bytes: float,
+        direction: Direction,
+        num_chunks: int = 1,
     ) -> TransferRecord:
         """Enqueue a transfer of ``num_bytes`` at simulated time ``now``.
+
+        ``num_chunks`` is the number of KV chunks the transfer coalesces
+        (pure accounting; the timing model charges one ``min_latency``
+        regardless — that *is* the coalescing win).
 
         Returns the resulting :class:`TransferRecord`; the engine's internal
         busy-until state advances to the transfer's end time.
         """
         if num_bytes < 0:
             raise ValueError(f"num_bytes must be non-negative, got {num_bytes}")
+        if num_chunks < 1:
+            raise ValueError(f"num_chunks must be >= 1, got {num_chunks}")
         start = max(now, self._busy_until[direction])
         if (
             self.prioritize_retrieval
@@ -124,6 +141,7 @@ class PcieEngine:
             enqueue_time=now,
             start_time=start,
             end_time=end,
+            num_chunks=num_chunks,
         )
         self._history.append(record)
         self.bytes_moved[direction] += num_bytes
@@ -136,18 +154,24 @@ class PcieEngine:
                 track="pcie",
                 bytes=num_bytes,
                 queue_delay=start - now,
+                chunks=num_chunks,
             )
             self.tracer.count(f"{name}_bytes", num_bytes)
             self.tracer.count(f"{name}_transfers")
+            self.tracer.count(f"{name}_chunks", num_chunks)
         return record
 
-    def swap_in(self, now: float, num_bytes: float) -> TransferRecord:
+    def swap_in(
+        self, now: float, num_bytes: float, num_chunks: int = 1
+    ) -> TransferRecord:
         """CPU-to-GPU transfer (KV-token retrieval)."""
-        return self.transfer(now, num_bytes, Direction.H2D)
+        return self.transfer(now, num_bytes, Direction.H2D, num_chunks)
 
-    def swap_out(self, now: float, num_bytes: float) -> TransferRecord:
+    def swap_out(
+        self, now: float, num_bytes: float, num_chunks: int = 1
+    ) -> TransferRecord:
         """GPU-to-CPU transfer (ahead-of-time eviction)."""
-        return self.transfer(now, num_bytes, Direction.D2H)
+        return self.transfer(now, num_bytes, Direction.D2H, num_chunks)
 
     def idle_at(self, now: float) -> bool:
         """True when both directions have drained by ``now``."""

@@ -25,7 +25,13 @@ the paper discusses:
   whole decode batch into one flat gather + segmented reductions, and
   :func:`~repro.kernels.batched.vectorized_multi_token_attention` serves
   ragged prefill/mixed batches with one gather per request, zero-copy GQA
-  broadcasting and a single-pass small-context fast path.  Both are
+  broadcasting and a single-pass small-context fast path;
+- :mod:`~repro.kernels.ragged` — the fully-ragged batched kernel:
+  :func:`~repro.kernels.ragged.ragged_multi_token_attention` packs an
+  entire prefill/mixed batch (CSR query offsets, one padded slot-table
+  gather, segment-masked causal softmax, grouped-head GQA matmuls) into
+  one numpy pass, with a memory-footprint guard falling back to the
+  per-request vectorized kernel for pathological raggedness.  All are
   verified (~1e-6) against the per-request kernels above, which remain
   the correctness oracle.
 """
@@ -38,6 +44,7 @@ from repro.kernels.batched import (
     batched_single_token_attention,
     vectorized_multi_token_attention,
 )
+from repro.kernels.ragged import ragged_multi_token_attention
 from repro.kernels.strawmen import copyout_attention, multiround_attention
 from repro.kernels.subrequests import disjoint_query_spans, split_disjoint_query
 
@@ -49,6 +56,7 @@ __all__ = [
     "single_token_attention",
     "batched_single_token_attention",
     "vectorized_multi_token_attention",
+    "ragged_multi_token_attention",
     "copyout_attention",
     "multiround_attention",
     "disjoint_query_spans",

@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from typing import Iterator, List, Optional, Sequence
 
+import numpy as np
+
 
 class PagePoolExhausted(RuntimeError):
     """Raised when an allocation cannot be satisfied."""
@@ -168,7 +170,35 @@ class BlockTable:
 
     def slots(self, start: int, end: int) -> List[int]:
         """Flat slot indices for positions ``[start, end)``."""
-        return [self.slot(i) for i in range(start, end)]
+        return self.slots_array(start, end).tolist()
+
+    def slots_array(self, start: int, end: int) -> np.ndarray:
+        """Flat slot indices for positions ``[start, end)`` as one
+        vectorized computation (``int64`` array).
+
+        The page vector is computed once and range/vacancy are validated
+        in bulk instead of re-checking every position through
+        :meth:`slot`; on invalid input the same ``KeyError`` is raised,
+        for the first offending position.
+        """
+        if start >= end:
+            return np.empty(0, dtype=np.int64)
+        if start < 0 or start >= self._length:
+            raise KeyError(f"position {start} out of range [0, {self._length})")
+        if end > self._length:
+            raise KeyError(
+                f"position {self._length} out of range [0, {self._length})"
+            )
+        ps = self.page_size
+        first_page = start // ps
+        pages = self._pages[first_page : (end - 1) // ps + 1]
+        if any(page is None for page in pages):
+            offset = next(i for i, page in enumerate(pages) if page is None)
+            bad = max(start, (first_page + offset) * ps)
+            raise KeyError(f"position {bad} has been vacated")
+        positions = np.arange(start, end, dtype=np.int64)
+        page_vec = np.asarray(pages, dtype=np.int64)
+        return page_vec[positions // ps - first_page] * ps + positions % ps
 
     def vacate_front(self, count: int) -> None:
         """Release the slots of the ``count`` leading resident tokens.

@@ -90,6 +90,63 @@ class KVStorage:
         self.k[:, idx] = k
         self.v[:, idx] = v
 
+    def read_slots_stacked(
+        self, slot_groups: Sequence[Sequence[int]]
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Gather several slot groups (e.g. swap-out chunks) in ONE
+        all-layer fancy-index over the concatenated indices.
+
+        Returns one ``(k, v)`` pair per group, each of shape
+        ``[num_layers, len(group), kv_heads, head_dim]`` — views into
+        the stacked gather, split back along the slot axis.  Equivalent
+        to calling :meth:`read_all_layers` per group, but the cache is
+        traversed once for the whole transfer (the coalesced data path
+        of the two-tier manager).
+        """
+        sizes = [len(group) for group in slot_groups]
+        if not sizes:
+            return []
+        idx = np.concatenate(
+            [np.asarray(group, dtype=np.int64) for group in slot_groups]
+        )
+        k = self.k[:, idx]
+        v = self.v[:, idx]
+        bounds = np.cumsum([0] + sizes)
+        return [
+            (k[:, bounds[i] : bounds[i + 1]], v[:, bounds[i] : bounds[i + 1]])
+            for i in range(len(sizes))
+        ]
+
+    def write_slots_stacked(
+        self,
+        slot_groups: Sequence[Sequence[int]],
+        kvs: Sequence[Tuple[np.ndarray, np.ndarray]],
+    ) -> None:
+        """Scatter several chunks' ``(k, v)`` data in ONE all-layer
+        fancy-index over the concatenated indices (coalesced swap-in).
+
+        ``kvs[i]`` carries group ``i``'s arrays, each
+        ``[num_layers, len(slot_groups[i]), kv_heads, head_dim]``.
+        Groups must reference distinct slots (chunk slot sets are
+        disjoint by construction).
+        """
+        if len(slot_groups) != len(kvs):
+            raise ValueError(
+                f"{len(slot_groups)} slot groups but {len(kvs)} K/V pairs"
+            )
+        if not slot_groups:
+            return
+        groups = [np.asarray(group, dtype=np.int64) for group in slot_groups]
+        for group, (k, v) in zip(groups, kvs):
+            if k.shape[1] != len(group) or v.shape[1] != len(group):
+                raise ValueError(
+                    f"K/V token count {k.shape[1]}/{v.shape[1]} != "
+                    f"slot count {len(group)}"
+                )
+        idx = np.concatenate(groups)
+        self.k[:, idx] = np.concatenate([k for k, _ in kvs], axis=1)
+        self.v[:, idx] = np.concatenate([v for _, v in kvs], axis=1)
+
 
 def _checksum(k: np.ndarray, v: np.ndarray) -> int:
     """CRC32 over a chunk's K and V bytes (cheap end-to-end integrity)."""
@@ -162,6 +219,49 @@ class CpuChunkStore:
             self.tracer.count("cpu_store.put_chunks")
             self.tracer.gauge("cpu_store.used_tokens", self.used_tokens)
 
+    def put_many(
+        self,
+        entries: Sequence[Tuple[int, int, np.ndarray, np.ndarray]],
+    ) -> None:
+        """Insert several chunks as one coalesced transfer.
+
+        ``entries`` holds ``(conv_id, chunk_index, k, v)`` tuples.  The
+        insert is atomic: duplicates and capacity are checked for the
+        whole batch up front, so either every chunk lands or none does.
+        Counter totals (``cpu_store.put_bytes`` / ``put_chunks`` /
+        ``used_tokens``) match ``len(entries)`` individual :meth:`put`
+        calls exactly — coalescing changes the number of transfers, not
+        the accounting.
+
+        Raises:
+            MemoryError: if the batch does not fit (nothing inserted).
+            KeyError: on a duplicate chunk (nothing inserted).
+        """
+        entries = list(entries)
+        keys = [(conv_id, chunk_index) for conv_id, chunk_index, _, _ in entries]
+        if len(set(keys)) != len(keys):
+            raise KeyError(f"duplicate chunks in put_many batch: {keys}")
+        for key in keys:
+            if key in self._entries:
+                raise KeyError(f"chunk {key} already in CPU store")
+        total_tokens = sum(k.shape[1] for _, _, k, _ in entries)
+        if self.used_tokens + total_tokens > self.capacity_tokens:
+            raise MemoryError(
+                f"CPU store full: {self.used_tokens}+{total_tokens} > "
+                f"{self.capacity_tokens}"
+            )
+        total_bytes = 0
+        for (key, (_, _, k, v)) in zip(keys, entries):
+            self._entries[key] = (k.copy(), v.copy())
+            self._tokens[key] = k.shape[1]
+            self._checksums[key] = _checksum(k, v)
+            self.used_tokens += k.shape[1]
+            total_bytes += k.nbytes + v.nbytes
+        if self.tracer.enabled and entries:
+            self.tracer.count("cpu_store.put_bytes", total_bytes)
+            self.tracer.count("cpu_store.put_chunks", len(entries))
+            self.tracer.gauge("cpu_store.used_tokens", self.used_tokens)
+
     def _verify(self, key: Tuple[int, int]) -> None:
         """Check a stored chunk against its insertion-time checksum.
 
@@ -214,6 +314,47 @@ class CpuChunkStore:
             self.tracer.count("cpu_store.read_bytes", data[0].nbytes + data[1].nbytes)
             self.tracer.gauge("cpu_store.used_tokens", self.used_tokens)
         return data
+
+    def pop_many(
+        self, conv_id: int, chunk_indices: Sequence[int]
+    ) -> Tuple[List[Tuple[int, Tuple[np.ndarray, np.ndarray]]], List[int]]:
+        """Remove several chunks of one conversation as one coalesced
+        transfer (the swap-in restore path).
+
+        Every chunk is verified exactly as :meth:`pop` would — the same
+        per-chunk CRC re-check and ``CPU_READ`` fault-injection site —
+        but a corrupt chunk is *reported* instead of raised (its entry
+        stays in the store, exactly like a failed :meth:`pop`), so the
+        caller can degrade just the affected prefix while the healthy
+        chunks still move in one batch.
+
+        Returns:
+            ``(popped, corrupt)``: ``popped`` is ``(chunk_index, (k, v))``
+            for each healthy chunk, in request order; ``corrupt`` lists
+            the chunk indices that failed verification.  Counter totals
+            (``cpu_store.read_bytes`` / ``corrupt_chunks`` /
+            ``used_tokens``) match per-chunk :meth:`pop` calls exactly.
+        """
+        popped: List[Tuple[int, Tuple[np.ndarray, np.ndarray]]] = []
+        corrupt: List[int] = []
+        read_bytes = 0
+        for chunk_index in chunk_indices:
+            key = (conv_id, chunk_index)
+            if self.verify_on_read:
+                try:
+                    self._verify(key)
+                except ChunkCorruptionError:
+                    corrupt.append(chunk_index)
+                    continue
+            data = self._entries.pop(key)
+            self._checksums.pop(key)
+            self.used_tokens -= self._tokens.pop(key)
+            read_bytes += data[0].nbytes + data[1].nbytes
+            popped.append((chunk_index, data))
+        if self.tracer.enabled and popped:
+            self.tracer.count("cpu_store.read_bytes", read_bytes)
+            self.tracer.gauge("cpu_store.used_tokens", self.used_tokens)
+        return popped, corrupt
 
     def drop(self, conv_id: int, chunk_index: int) -> None:
         """Discard a chunk (CPU-tier eviction)."""

@@ -31,8 +31,8 @@ from repro.kernels import (
     batched_single_token_attention,
     disjoint_query_spans,
     multi_token_attention,
+    ragged_multi_token_attention,
     split_disjoint_query,
-    vectorized_multi_token_attention,
 )
 from repro.kvcache.storage import KVStorage
 from repro.model.config import ModelConfig
@@ -92,9 +92,9 @@ class ForwardRequest:
     def num_new_tokens(self) -> int:
         return int(self.input_ids.shape[0])
 
-    def write_slots(self) -> List[int]:
+    def write_slots(self) -> np.ndarray:
         """Physical slots the new tokens' KV rows are written to."""
-        return [self.context_slots[int(p)] for p in self.positions]
+        return np.asarray(self.context_slots, dtype=np.int64)[self.positions]
 
 
 @dataclass
@@ -107,7 +107,7 @@ class _RequestPlan:
     of it ``num_layers`` times).
     """
 
-    write_slots: List[int]
+    write_slots: np.ndarray
     #: ``(q_lo, q_hi, slots, query_offset)`` per Figure 8(d) sub-request.
     spans: List[tuple]
     #: True iff this request is a pure generation step (one trailing query
@@ -116,7 +116,9 @@ class _RequestPlan:
 
     @staticmethod
     def build(request: "ForwardRequest") -> "_RequestPlan":
-        slots = list(request.context_slots)
+        # One int64 conversion per request; span slot lists are zero-copy
+        # views into it.
+        slots = np.asarray(request.context_slots, dtype=np.int64)
         spans = [
             (q_lo, q_hi, slots[:context_end], query_offset)
             for q_lo, q_hi, context_end, query_offset in disjoint_query_spans(
@@ -314,7 +316,10 @@ class PagedTransformer:
                 kernel_requests, k_layer, v_layer
             )
         else:
-            sub_outputs = vectorized_multi_token_attention(
+            # Ragged prefill/mixed batch: one segment-packed pass for all
+            # sub-requests (falls back internally to the per-request
+            # vectorized kernel when padding would be pathological).
+            sub_outputs = ragged_multi_token_attention(
                 kernel_requests, k_layer, v_layer
             )
         for region, out in zip(owners, sub_outputs):

@@ -119,3 +119,30 @@ class TestAccounting:
         eng.swap_in(0.0, 1e9)
         assert not eng.idle_at(0.5)
         assert eng.idle_at(1.0)
+
+
+class TestChunkAccounting:
+    """Coalesced transfers: one DMA operation, N chunks of accounting."""
+
+    def test_num_chunks_recorded_and_counted(self):
+        from repro.obs import Tracer
+
+        eng = make_engine()
+        eng.tracer = Tracer()
+        eng.swap_in(0.0, 400, num_chunks=4)
+        eng.swap_out(0.0, 100)  # defaults to one chunk
+        assert eng.history[0].num_chunks == 4
+        assert eng.history[1].num_chunks == 1
+        assert eng.tracer.counter("pcie.h2d_chunks") == 4
+        assert eng.tracer.counter("pcie.h2d_transfers") == 1
+        assert eng.tracer.counter("pcie.d2h_chunks") == 1
+
+    def test_coalesced_transfer_pays_latency_once(self):
+        eng = make_engine(min_latency=1e-3)
+        one = eng.swap_in(0.0, 400, num_chunks=4)
+        per = [make_engine(min_latency=1e-3).swap_in(0.0, 100) for _ in range(4)]
+        assert one.duration < sum(r.duration for r in per)
+
+    def test_invalid_num_chunks_rejected(self):
+        with pytest.raises(ValueError):
+            make_engine().swap_in(0.0, 100, num_chunks=0)

@@ -1,0 +1,179 @@
+"""Property-based tests (hypothesis) for the fully-ragged batched kernel.
+
+The contract of :func:`ragged_multi_token_attention` is numerical
+equivalence with the per-request tiled oracle within 1e-6 for *any*
+unified batch — mixed prefill/decode query lengths, Figure 8(d)
+dropped-prefix recompute splits, shared system-prompt slots, every GQA
+grouping — including when the memory-footprint guard silently routes
+the batch to the vectorized fallback.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kernels import (
+    AttentionRequest,
+    multi_token_attention,
+    ragged_multi_token_attention,
+)
+
+# The acceptance contract is 1e-6; fp64 should land far below it.
+TOL = dict(rtol=1e-9, atol=1e-9)
+
+
+@st.composite
+def ragged_batch(draw):
+    """A random unified batch over one scattered KV cache.
+
+    Returns ``(requests, k_cache, v_cache)`` with per-request query
+    lengths (0 allowed), context lengths, query offsets (0 = recompute
+    split), and optionally a shared slot prefix across all requests.
+    """
+    n = draw(st.integers(min_value=1, max_value=6))
+    kv_heads = draw(st.sampled_from([1, 2, 3]))
+    group = draw(st.sampled_from([1, 2, 4]))
+    num_heads = kv_heads * group
+    head_dim = draw(st.sampled_from([1, 4, 8]))
+    shared_prefix = draw(st.integers(min_value=0, max_value=4))
+    shapes = []
+    for _ in range(n):
+        q_len = draw(st.integers(min_value=0, max_value=6))
+        extra = draw(st.integers(min_value=0, max_value=20))
+        own_ctx = max(q_len + extra, 1)
+        offset = draw(st.integers(min_value=0, max_value=own_ctx - q_len))
+        shapes.append((q_len, own_ctx, offset))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+
+    rng = np.random.default_rng(seed)
+    total = shared_prefix + sum(ctx for _, ctx, _ in shapes)
+    num_slots = total + draw(st.integers(min_value=0, max_value=16))
+    k_cache = rng.standard_normal((num_slots, kv_heads, head_dim))
+    v_cache = rng.standard_normal((num_slots, kv_heads, head_dim))
+    perm = rng.permutation(num_slots)
+    prefix = list(perm[:shared_prefix])
+    used = shared_prefix
+    requests = []
+    for q_len, own_ctx, offset in shapes:
+        own = list(perm[used : used + own_ctx])
+        used += own_ctx
+        query = rng.standard_normal((q_len, num_heads, head_dim))
+        requests.append(
+            AttentionRequest(
+                query=query,
+                slots=prefix + own,
+                query_offset=shared_prefix + offset,
+            )
+        )
+    return requests, k_cache, v_cache
+
+
+@settings(max_examples=60, deadline=None)
+@given(batch=ragged_batch())
+def test_ragged_equals_tiled_oracle(batch):
+    """For any unified batch shape, the one-shot ragged kernel matches
+    the per-request tiled oracle well within the 1e-6 contract."""
+    requests, k_cache, v_cache = batch
+    expected = multi_token_attention(requests, k_cache, v_cache)
+    out = ragged_multi_token_attention(requests, k_cache, v_cache)
+    assert len(out) == len(expected)
+    for o, e in zip(out, expected):
+        assert o.shape == e.shape
+        np.testing.assert_allclose(o, e, **TOL)
+
+
+@settings(max_examples=25, deadline=None)
+@given(batch=ragged_batch())
+def test_fallback_guard_path_is_equivalent(batch):
+    """Forcing the memory-footprint guard (max_score_elements=1) routes
+    through the vectorized fallback, which must satisfy the same
+    contract — callers cannot observe which path ran."""
+    requests, k_cache, v_cache = batch
+    expected = multi_token_attention(requests, k_cache, v_cache)
+    out = ragged_multi_token_attention(
+        requests, k_cache, v_cache, max_score_elements=1
+    )
+    for o, e in zip(out, expected):
+        np.testing.assert_allclose(o, e, **TOL)
+
+
+def _split_pair(rng, num_heads, kv_heads, head_dim, dropped, tail_ctx):
+    """One conversation split per Figure 8(d): a dropped-prefix
+    recompute sub-request (queries at position 0) plus the tail
+    sub-request attending over the full context."""
+    ctx = dropped + tail_ctx
+    num_slots = ctx + 8
+    k_cache = rng.standard_normal((num_slots, kv_heads, head_dim))
+    v_cache = rng.standard_normal((num_slots, kv_heads, head_dim))
+    slots = list(rng.permutation(num_slots)[:ctx])
+    recompute = AttentionRequest(
+        query=rng.standard_normal((dropped, num_heads, head_dim)),
+        slots=slots,
+        query_offset=0,
+    )
+    tail = AttentionRequest(
+        query=rng.standard_normal((tail_ctx, num_heads, head_dim)),
+        slots=slots,
+        query_offset=dropped,
+    )
+    return [recompute, tail], k_cache, v_cache
+
+
+def test_recompute_split_batch_matches_oracle():
+    """A batch of Figure 8(d) split pairs (shared slots within each
+    pair, segment-masked prefix queries) matches the oracle."""
+    rng = np.random.default_rng(7)
+    requests, k_cache, v_cache = _split_pair(rng, 8, 2, 8, dropped=5, tail_ctx=9)
+    more, k2, v2 = _split_pair(rng, 8, 2, 8, dropped=3, tail_ctx=4)
+    # Merge the two pairs into one cache/batch.
+    offset = k_cache.shape[0]
+    k_cache = np.concatenate([k_cache, k2])
+    v_cache = np.concatenate([v_cache, v2])
+    for r in more:
+        r.slots = [s + offset for s in r.slots]
+    batch = requests + more
+    expected = multi_token_attention(batch, k_cache, v_cache)
+    out = ragged_multi_token_attention(batch, k_cache, v_cache)
+    for o, e in zip(out, expected):
+        np.testing.assert_allclose(o, e, **TOL)
+
+
+def test_empty_batch_returns_empty_list():
+    k_cache = np.zeros((4, 2, 8))
+    assert ragged_multi_token_attention([], k_cache, k_cache) == []
+
+
+def test_zero_length_queries_yield_empty_outputs():
+    rng = np.random.default_rng(3)
+    k_cache = rng.standard_normal((32, 2, 4))
+    v_cache = rng.standard_normal((32, 2, 4))
+    perm = rng.permutation(32)
+    empty = AttentionRequest(
+        query=np.empty((0, 4, 4)), slots=list(perm[:6])
+    )
+    real = AttentionRequest(
+        query=rng.standard_normal((3, 4, 4)), slots=list(perm[6:16])
+    )
+    out = ragged_multi_token_attention([empty, real, empty], k_cache, v_cache)
+    assert out[0].shape == (0, 4, 4) and out[2].shape == (0, 4, 4)
+    expected = multi_token_attention([real], k_cache, v_cache)[0]
+    np.testing.assert_allclose(out[1], expected, **TOL)
+
+
+def test_heterogeneous_head_counts_rejected():
+    rng = np.random.default_rng(0)
+    k_cache = rng.standard_normal((16, 2, 4))
+    v_cache = rng.standard_normal((16, 2, 4))
+    a = AttentionRequest(query=rng.standard_normal((2, 4, 4)), slots=[0, 1])
+    b = AttentionRequest(query=rng.standard_normal((2, 2, 4)), slots=[2, 3])
+    with pytest.raises(ValueError):
+        ragged_multi_token_attention([a, b], k_cache, v_cache)
+
+
+def test_cache_shape_mismatch_rejected():
+    rng = np.random.default_rng(0)
+    k_cache = rng.standard_normal((16, 2, 4))
+    v_cache = rng.standard_normal((16, 2, 8))
+    r = AttentionRequest(query=rng.standard_normal((1, 4, 4)), slots=[0, 1])
+    with pytest.raises(ValueError):
+        ragged_multi_token_attention([r], k_cache, v_cache)

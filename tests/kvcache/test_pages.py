@@ -1,5 +1,6 @@
 """Tests for the page pool and block tables."""
 
+import numpy as np
 import pytest
 
 from repro.kvcache import BlockTable, PagePool, PagePoolExhausted
@@ -176,3 +177,56 @@ class TestBlockTable:
         table.append_tokens(8)
         table.vacate_front(4)
         assert list(table) == table.slots(4, 8)
+
+
+class TestSlotsArray:
+    """Bulk slot lookup used by the coalesced data path and the
+    transformer hot paths: same results and the same KeyErrors as the
+    per-position loop, computed with one bounds/vacancy check."""
+
+    @pytest.fixture
+    def pool(self):
+        return PagePool(num_pages=16, page_size=4)
+
+    def test_matches_per_position_slots(self, pool):
+        table = BlockTable(pool)
+        table.append_tokens(11)
+        for start, end in [(0, 11), (2, 5), (3, 11), (4, 8), (7, 7)]:
+            arr = table.slots_array(start, end)
+            assert arr.dtype == np.int64
+            assert arr.tolist() == [table.slot(i) for i in range(start, end)]
+
+    def test_empty_range(self, pool):
+        table = BlockTable(pool)
+        table.append_tokens(4)
+        assert table.slots_array(3, 3).size == 0
+        assert table.slots_array(4, 2).size == 0
+
+    def test_out_of_range_raises_keyerror(self, pool):
+        table = BlockTable(pool)
+        table.append_tokens(6)
+        with pytest.raises(KeyError):
+            table.slots_array(0, 7)
+        with pytest.raises(KeyError):
+            table.slots_array(6, 8)
+        with pytest.raises(KeyError):
+            table.slots_array(-1, 3)
+
+    def test_vacated_positions_raise_keyerror(self, pool):
+        table = BlockTable(pool)
+        table.append_tokens(12)
+        table.vacate_front(8)
+        with pytest.raises(KeyError):
+            table.slots_array(0, 12)
+        with pytest.raises(KeyError):
+            table.slots_array(6, 10)
+        assert table.slots_array(8, 12).tolist() == table.slots(8, 12)
+
+    def test_survives_restore_cycle(self, pool):
+        table = BlockTable(pool)
+        table.append_tokens(12)
+        table.vacate_front(8)
+        table.restore_front(8)
+        assert table.slots_array(0, 12).tolist() == [
+            table.slot(i) for i in range(12)
+        ]
