@@ -8,15 +8,21 @@ with a stable schema.
 
 import json
 
+import pytest
+
 from repro.bench import TOLERANCE, format_table, run_all, write_json
 from repro.bench.harness import SCHEMA_VERSION, summarize
+
+pytestmark = pytest.mark.slow
 
 
 def test_quick_suite_equivalent_and_schema_stable(tmp_path):
     results = run_all(quick=True, seed=0, repeats=1)
 
     families = {x.family for x in results}
-    assert families == {"decode", "prefill", "mixed", "e2e", "storage", "swap"}
+    assert families == {
+        "decode", "prefill", "mixed", "e2e", "storage", "swap", "disk", "idle",
+    }
     assert all(x.equivalent for x in results), format_table(results)
     assert all(x.max_abs_diff <= TOLERANCE for x in results)
     assert all(x.optimized_s > 0 and x.reference_s > 0 for x in results)
@@ -28,6 +34,12 @@ def test_quick_suite_equivalent_and_schema_stable(tmp_path):
     assert any(x.family == "mixed" for x in ragged)
     swap = [x for x in results if x.family == "swap"]
     assert swap and all(x.max_abs_diff == 0.0 for x in swap)
+    disk = [x for x in results if x.family == "disk"]
+    assert disk and all(x.max_abs_diff == 0.0 for x in disk)
+    # The long-idle-user scenario restores parked conversations from the
+    # third tier bit-identically to the recompute baseline.
+    idle = [x for x in results if x.family == "idle"]
+    assert idle and all(x.max_abs_diff == 0.0 for x in idle)
 
     summary = summarize(results)
     assert summary["all_equivalent"] is True

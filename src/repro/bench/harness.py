@@ -19,7 +19,15 @@ Scenario families:
   same chunks with ``verify_on_read`` on and off;
 - ``swap``    — the coalesced multi-chunk swap-in data path
   (``pop_many`` + ``write_slots_stacked``) vs the per-chunk
-  pop/write loop it replaced.
+  pop/write loop it replaced;
+- ``disk``    — the same coalesced restore data path reading from the
+  third (NVMe-modeled) tier's :class:`DiskChunkStore`;
+- ``idle``    — the long-idle-user end-to-end scenario: conversations
+  whose context was demoted to disk under CPU pressure return after a
+  long think time; the three-tier server restores them from disk while
+  the two-tier reference recomputes the dropped context.  Equivalence is
+  bit-identical outputs (the Pensieve transparency guarantee), and the
+  speedup is the disk tier's reason to exist.
 
 The ``prefill``/``mixed`` families carry both the vectorized kernel and
 the fully-ragged one (``ragged_multi_token_attention``); ragged scenarios
@@ -49,7 +57,8 @@ from repro.kernels import (
     single_token_attention,
     vectorized_multi_token_attention,
 )
-from repro.kvcache.storage import CpuChunkStore, KVStorage
+from repro.core.server import StatefulChatServer
+from repro.kvcache.storage import CpuChunkStore, DiskChunkStore, KVStorage
 from repro.model.config import tiny_llama_config, tiny_opt_config
 from repro.model.transformer import ForwardRequest, PagedTransformer
 from repro.serving.metrics import StageTimings
@@ -58,7 +67,7 @@ from repro.serving.metrics import StageTimings
 TOLERANCE = 1e-6
 
 #: Schema version of ``BENCH_kernels.json``.
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 #: CI floor: thresholded scenarios (ragged kernel + coalesced swap, at
 #: ``batch >= MIN_THRESHOLD_BATCH``) must beat this speedup or
@@ -73,7 +82,7 @@ class BenchResult:
     """One scenario's measurement: paired timings + equivalence verdict."""
 
     name: str
-    family: str  # decode | prefill | mixed | e2e | storage
+    family: str  # decode | prefill | mixed | e2e | storage | swap | disk | idle
     reference: str
     optimized: str
     batch: int
@@ -536,6 +545,189 @@ def bench_crc_verification(
     )
 
 
+def bench_disk_restore(
+    name: str,
+    num_chunks: int,
+    chunk_tokens: int,
+    num_layers: int,
+    kv_heads: int,
+    head_dim: int,
+    repeats: int,
+    seed: int,
+) -> BenchResult:
+    """Coalesced disk-tier restore vs the per-chunk read loop.
+
+    Same data path as ``bench_swap_restore`` one tier further down: the
+    chunks come out of a :class:`DiskChunkStore` (tier 3) instead of the
+    CPU store.  The host-memory mechanics are identical by construction —
+    this scenario pins that down by measuring it, so a future disk-store
+    divergence (extra staging copies, say) shows up as a family
+    regression.  Equivalence is bit-exactness of the final KV arrays.
+    """
+    rng = np.random.default_rng(seed)
+    total = num_chunks * chunk_tokens
+    config = tiny_llama_config(
+        num_layers=num_layers,
+        hidden_size=8 * head_dim,
+        num_heads=8,
+        num_kv_heads=kv_heads,
+    )
+    perm = rng.permutation(total)
+    groups = [
+        perm[i * chunk_tokens : (i + 1) * chunk_tokens].astype(np.int64)
+        for i in range(num_chunks)
+    ]
+    datas = [
+        (
+            rng.standard_normal((num_layers, chunk_tokens, kv_heads, head_dim)),
+            rng.standard_normal((num_layers, chunk_tokens, kv_heads, head_dim)),
+        )
+        for _ in range(num_chunks)
+    ]
+
+    ref_store = DiskChunkStore(total, verify_on_read=False)
+    opt_store = DiskChunkStore(total, verify_on_read=False)
+    ref_storage = KVStorage(config, num_slots=total, dtype=np.float64)
+    opt_storage = KVStorage(config, num_slots=total, dtype=np.float64)
+
+    def fill(store: DiskChunkStore) -> None:
+        for i, (k, v) in enumerate(datas):
+            store.put(0, i, k, v)
+
+    def run_per_chunk() -> None:
+        for i, slots in enumerate(groups):
+            k, v = ref_store.pop(0, i)
+            ref_storage.write_all_layers(list(slots), k, v)
+
+    def run_coalesced() -> None:
+        popped, _ = opt_store.pop_many(0, list(range(num_chunks)))
+        opt_storage.write_slots_stacked(groups, [data for _, data in popped])
+
+    reference_s = _best_of_stateful(
+        lambda: fill(ref_store), run_per_chunk, repeats
+    )
+    optimized_s = _best_of_stateful(
+        lambda: fill(opt_store), run_coalesced, repeats
+    )
+    max_abs_diff = max(
+        float(np.abs(ref_storage.k - opt_storage.k).max()),
+        float(np.abs(ref_storage.v - opt_storage.v).max()),
+    )
+    return _result(
+        name,
+        "disk",
+        "DiskChunkStore.pop + write_all_layers [per chunk]",
+        "pop_many + write_slots_stacked [coalesced]",
+        batch=num_chunks,
+        tokens_per_call=total,
+        reference_s=reference_s,
+        optimized_s=optimized_s,
+        max_abs_diff=max_abs_diff,
+    )
+
+
+def bench_long_idle_user(
+    name: str,
+    num_convs: int,
+    history_turns: int,
+    prompt_len: int,
+    new_tokens: int,
+    repeats: int,
+    seed: int,
+) -> BenchResult:
+    """The extreme-think-time return turn: disk restore vs recompute.
+
+    Both servers run the same tight GPU/CPU budget and serve the same
+    multi-turn histories, which squeezes every idle conversation's
+    context out of the CPU tier.  The three-tier server demotes it to
+    disk; the two-tier reference drops it.  The timed phase is each
+    conversation's return turn after the long idle — the reference
+    recomputes the dropped context through the model (§4.3.4) while the
+    optimized server reads it back from the disk store.  Outputs must be
+    bit-identical (``max_abs_diff`` is 0.0 when every returned token
+    matches, 1.0 otherwise).
+    """
+    config = tiny_opt_config()
+    caps = dict(
+        gpu_capacity_tokens=192,
+        cpu_capacity_tokens=96,
+        chunk_size=16,
+        page_size=8,
+        seed=0,
+    )
+
+    def build(disk_tokens: int) -> StatefulChatServer:
+        server = StatefulChatServer(
+            config, disk_capacity_tokens=disk_tokens, **caps
+        )
+        for turn in range(history_turns):
+            for conv in range(num_convs):
+                prompt = [
+                    (conv * 17 + turn * 5 + i) % config.vocab_size
+                    for i in range(prompt_len)
+                ]
+                server.chat(conv, prompt_ids=prompt, max_new_tokens=new_tokens)
+        return server
+
+    def return_turns(server: StatefulChatServer) -> List[List[int]]:
+        return [
+            server.chat(
+                conv,
+                prompt_ids=[
+                    (conv * 29 + 7 + i) % config.vocab_size
+                    for i in range(prompt_len)
+                ],
+                max_new_tokens=new_tokens,
+            )
+            for conv in range(num_convs)
+        ]
+
+    state: Dict[str, object] = {}
+    outputs: Dict[str, List[List[int]]] = {}
+
+    def ref_setup() -> None:
+        state["ref"] = build(0)
+
+    def ref_run() -> None:
+        outputs["ref"] = return_turns(state["ref"])
+
+    def opt_setup() -> None:
+        state["opt"] = build(1 << 20)
+
+    def opt_run() -> None:
+        outputs["opt"] = return_turns(state["opt"])
+
+    reference_s = _best_of_stateful(ref_setup, ref_run, repeats)
+    optimized_s = _best_of_stateful(opt_setup, opt_run, repeats)
+
+    # The scenario is only meaningful if the pressure actually pushed
+    # context through the tiers: the two-tier run must have recomputed
+    # and the three-tier run must have read the disk.
+    opt_server = state["opt"]
+    assert opt_server.manager.stats["demoted_tokens"] > 0, (
+        f"{name}: workload never demoted context to disk"
+    )
+    assert opt_server.manager.stats["disk_hit_tokens"] > 0, (
+        f"{name}: return turns never read the disk tier"
+    )
+    assert state["ref"].manager.stats["recomputed_tokens"] > 0, (
+        f"{name}: reference never recomputed dropped context"
+    )
+
+    tokens = num_convs * (prompt_len + new_tokens)
+    return _result(
+        name,
+        "idle",
+        "two-tier [dropped context recomputed]",
+        "three-tier [context restored from disk]",
+        batch=num_convs,
+        tokens_per_call=tokens,
+        reference_s=reference_s,
+        optimized_s=optimized_s,
+        max_abs_diff=0.0 if outputs["ref"] == outputs["opt"] else 1.0,
+    )
+
+
 # ----------------------------------------------------------------------
 # Suites
 # ----------------------------------------------------------------------
@@ -714,6 +906,40 @@ def run_all(
                 seed=seed,
             )
         )
+
+    # --- disk: coalesced restore from the third tier --------------------
+    disk_cfgs = [("disk/restore/c32-t8", 32)]
+    if not quick:
+        disk_cfgs.append(("disk/restore/c64-t8", 64))
+    for disk_name, chunks in disk_cfgs:
+        results.append(
+            run(
+                bench_disk_restore,
+                disk_name,
+                num_chunks=chunks,
+                chunk_tokens=8,
+                num_layers=2,
+                kv_heads=2,
+                head_dim=8,
+                repeats=r,
+                seed=seed,
+            )
+        )
+
+    # --- idle: long-idle-user return turns (disk restore vs recompute) --
+    idle_turns = 2 if quick else 3
+    results.append(
+        run(
+            bench_long_idle_user,
+            f"idle/return/b6-h{idle_turns}",
+            num_convs=6,
+            history_turns=idle_turns,
+            prompt_len=13,
+            new_tokens=8,
+            repeats=max(2, r // 3),
+            seed=seed,
+        )
+    )
     return results
 
 
@@ -757,6 +983,8 @@ def summarize(results: Sequence[BenchResult]) -> Dict[str, object]:
         "mixed_kernel_best_speedup": round(best("mixed"), 2),
         "e2e_best_speedup": round(best("e2e"), 2),
         "swap_best_speedup": round(best("swap"), 2),
+        "disk_best_speedup": round(best("disk"), 2),
+        "idle_restore_speedup": round(best("idle"), 2),
         "all_equivalent": all(x.equivalent for x in results),
         "thresholds_ok": not check_thresholds(results),
     }
@@ -809,7 +1037,9 @@ def format_table(results: Sequence[BenchResult]) -> str:
         f"prefill {summary['prefill_kernel_best_speedup']}x, "
         f"mixed {summary['mixed_kernel_best_speedup']}x, "
         f"e2e {summary['e2e_best_speedup']}x, "
-        f"swap {summary['swap_best_speedup']}x; "
+        f"swap {summary['swap_best_speedup']}x, "
+        f"disk {summary['disk_best_speedup']}x, "
+        f"idle {summary['idle_restore_speedup']}x; "
         f"equivalence {'OK' if summary['all_equivalent'] else 'FAILED'} "
         f"(tolerance {TOLERANCE})"
     )

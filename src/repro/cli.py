@@ -54,21 +54,29 @@ def _fault_plan(args: argparse.Namespace):
             FaultSite.GPU_ALLOC: rate,
             FaultSite.CPU_READ: rate / 4,
             FaultSite.WORKER_STEP: rate / 4,
+            # Disk-tier sites: only drawn when a disk tier is configured
+            # (--disk-tokens), harmless otherwise.
+            FaultSite.DISK_READ: rate / 4,
+            FaultSite.NVME_STALL: rate,
         },
     )
 
 
-def _engine_factory(system: str, config: ModelConfig, fault_plan=None):
+def _engine_factory(system: str, config: ModelConfig, fault_plan=None,
+                    disk_tokens: int = 0):
     from repro.core.engine import PensieveEngine
     from repro.gpu.device import A100_80GB
     from repro.serving.stateless import make_tensorrt_llm, make_vllm
 
     system = system.lower()
-    if fault_plan is not None and system not in (
-        "pensieve", "pensieve-gpu", "pensieve-gpu-cache"
-    ):
+    stateful = ("pensieve", "pensieve-gpu", "pensieve-gpu-cache")
+    if fault_plan is not None and system not in stateful:
         raise SystemExit(
             "--fault-seed requires a stateful system (pensieve, pensieve-gpu)"
+        )
+    if disk_tokens and system not in stateful:
+        raise SystemExit(
+            "--disk-tokens requires a stateful system (pensieve, pensieve-gpu)"
         )
     if system == "vllm":
         return lambda loop: make_vllm(loop, config, A100_80GB)
@@ -76,11 +84,13 @@ def _engine_factory(system: str, config: ModelConfig, fault_plan=None):
         return lambda loop: make_tensorrt_llm(loop, config, A100_80GB)
     if system == "pensieve":
         return lambda loop: PensieveEngine(
-            loop, config, A100_80GB, fault_plan=fault_plan
+            loop, config, A100_80GB, fault_plan=fault_plan,
+            disk_cache_tokens=disk_tokens,
         )
     if system in ("pensieve-gpu", "pensieve-gpu-cache"):
         return lambda loop: PensieveEngine(
-            loop, config, A100_80GB, cpu_cache_tokens=0, fault_plan=fault_plan
+            loop, config, A100_80GB, cpu_cache_tokens=0,
+            fault_plan=fault_plan, disk_cache_tokens=disk_tokens,
         )
     raise SystemExit(
         f"unknown system {system!r}; choose from vllm, tensorrt-llm, "
@@ -114,6 +124,7 @@ def cmd_chat(args: argparse.Namespace) -> int:
         config,
         gpu_capacity_tokens=args.gpu_tokens,
         cpu_capacity_tokens=args.cpu_tokens,
+        disk_capacity_tokens=args.disk_tokens,
         seed=args.seed,
     )
     if args.system_prompt:
@@ -159,7 +170,8 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     fault_plan = _fault_plan(args)
     tracer = _make_tracer(args)
     engine, stats = run_serving_once(
-        _engine_factory(args.system, config, fault_plan),
+        _engine_factory(args.system, config, fault_plan,
+                        disk_tokens=args.disk_tokens),
         conversations,
         until=args.duration,
         warmup=args.duration * 0.3,
@@ -188,7 +200,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     config = _model(args.model)
     dataset = ULTRACHAT if args.dataset == "ultrachat" else SHAREGPT
     points = run_rate_sweep(
-        _engine_factory(args.system, config),
+        _engine_factory(args.system, config, disk_tokens=args.disk_tokens),
         dataset,
         rates=args.rates,
         duration=args.duration,
@@ -257,7 +269,8 @@ def cmd_trace(args: argparse.Namespace) -> int:
             seed=args.seed,
         )
         engine, stats = run_serving_once(
-            _engine_factory(args.system, config, None),
+            _engine_factory(args.system, config, None,
+                            disk_tokens=args.disk_tokens),
             conversations,
             until=args.duration,
             warmup=args.duration * 0.3,
@@ -274,6 +287,18 @@ def cmd_trace(args: argparse.Namespace) -> int:
             seed=args.seed, tracer=tracer,
         )
         print(format_fig13(curves))
+    elif args.experiment == "fig15x":
+        from repro.experiments.fig15x import format_fig15x, run_fig15x
+
+        kwargs = {}
+        if args.disk_tokens:
+            kwargs["disk_cache_tokens"] = args.disk_tokens
+        curves = run_fig15x(
+            config=_model(args.model), rates=tuple(args.rates),
+            duration=args.duration, seed=args.seed, tracer=tracer,
+            **kwargs,
+        )
+        print(format_fig15x(curves))
     else:  # pragma: no cover - argparse choices prevent this
         raise SystemExit(f"unknown experiment {args.experiment!r}")
     _write_trace(tracer, args.out, prefix=f"trace_{args.experiment}")
@@ -298,6 +323,9 @@ def build_parser() -> argparse.ArgumentParser:
     chat.add_argument("--arch", choices=("opt", "llama"), default="llama")
     chat.add_argument("--gpu-tokens", type=int, default=512)
     chat.add_argument("--cpu-tokens", type=int, default=2048)
+    chat.add_argument("--disk-tokens", type=int, default=0,
+                      help="capacity of the third (disk) tier in KV-tokens "
+                           "(0 disables it)")
     chat.add_argument("--max-tokens", type=int, default=12)
     chat.add_argument("--system-prompt", default="")
     chat.add_argument("--seed", type=int, default=0)
@@ -312,6 +340,9 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--duration", type=float, default=300.0)
     simulate.add_argument("--think-time", type=float, default=60.0)
     simulate.add_argument("--seed", type=int, default=7)
+    simulate.add_argument("--disk-tokens", type=int, default=0,
+                          help="enable the NVMe-modeled disk tier with this "
+                               "many KV-tokens of capacity (stateful systems)")
     simulate.add_argument("--fault-seed", type=int, default=None,
                           help="arm deterministic fault injection (stateful "
                                "systems only) seeded with this value")
@@ -333,6 +364,9 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--duration", type=float, default=300.0)
     sweep.add_argument("--think-time", type=float, default=60.0)
     sweep.add_argument("--seed", type=int, default=7)
+    sweep.add_argument("--disk-tokens", type=int, default=0,
+                       help="enable the NVMe-modeled disk tier with this "
+                            "many KV-tokens of capacity (stateful systems)")
     sweep.set_defaults(func=cmd_sweep)
 
     figures = sub.add_parser("figures", help="fast analytical figures")
@@ -360,7 +394,7 @@ def build_parser() -> argparse.ArgumentParser:
     trace = sub.add_parser(
         "trace", help="run an experiment with full telemetry recording"
     )
-    trace.add_argument("experiment", choices=("simulate", "fig13"),
+    trace.add_argument("experiment", choices=("simulate", "fig13", "fig15x"),
                        help="what to run under the tracer")
     trace.add_argument("--out", default="traces", metavar="DIR",
                        help="output directory for the trace artifacts")
@@ -370,10 +404,13 @@ def build_parser() -> argparse.ArgumentParser:
                        default="sharegpt")
     trace.add_argument("--rate", type=float, default=8.0)
     trace.add_argument("--rates", type=float, nargs="+", default=[2.0, 8.0],
-                       help="request rates (fig13 only)")
+                       help="request rates (fig13/fig15x)")
     trace.add_argument("--duration", type=float, default=120.0)
     trace.add_argument("--think-time", type=float, default=60.0)
     trace.add_argument("--seed", type=int, default=7)
+    trace.add_argument("--disk-tokens", type=int, default=0,
+                       help="enable the NVMe-modeled disk tier with this "
+                            "many KV-tokens of capacity (simulate/fig15x)")
     trace.set_defaults(func=cmd_trace)
 
     report = sub.add_parser("report", help="regenerate EXPERIMENTS.md (slow)")

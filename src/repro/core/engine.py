@@ -2,8 +2,9 @@
 
 A stateful, unified-batching engine built on:
 
-- the two-tier :class:`~repro.kvcache.manager.TwoTierCacheManager`
-  (token-chunk eviction, lazy reclamation, Figure 5 restore planning);
+- the tiered :class:`~repro.kvcache.manager.TieredCacheManager`
+  (token-chunk eviction, lazy reclamation, Figure 5 restore planning,
+  optional disk tier with cross-tier retention-value placement);
 - the retention-value eviction policy (§4.3.1) driven by offline
   power-of-two profiling;
 - ahead-of-time swap-out below a free-space threshold (§4.3.2);
@@ -28,14 +29,17 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.gpu.costmodel import BatchShape, CostModel, KernelVariant
 from repro.gpu.device import GpuSpec
+from repro.gpu.nvme import NvmeEngine
 from repro.gpu.pcie import Direction, PcieEngine
 from repro.gpu.profiler import OfflineProfiler
 from repro.core.eviction import LruPolicy, RetentionValuePolicy
 from repro.faults import FaultPlan, FaultSite, RetryPolicy, attempt_with_retries
+from repro.kvcache.chunks import Chunk, ChunkLocation, ConversationCache
 from repro.kvcache.manager import (
     CacheCapacityError,
     EvictionScorer,
-    TwoTierCacheManager,
+    TierPlacement,
+    TieredCacheManager,
 )
 from repro.model.config import ModelConfig
 from repro.serving.batching import BatchConfig
@@ -64,6 +68,14 @@ class PensieveEngine(EngineBase):
         cpu_cache_tokens: CPU-tier capacity in tokens; ``None`` derives it
             from ``spec.cpu_memory_bytes`` (x num_gpus), ``0`` produces the
             paper's "Pensieve (GPU cache)" variant.
+        disk_cache_tokens: disk (NVMe) tier capacity in tokens behind the
+            CPU tier; 0 (the default) disables the tier, reproducing the
+            two-tier behaviour exactly.  Demotions and disk reads are
+            priced by an :class:`~repro.gpu.nvme.NvmeEngine` built from
+            the spec's ``nvme_*`` fields.
+        placement: cross-tier placement policy (see
+            :class:`~repro.core.eviction.TieredPlacementPolicy`); ``None``
+            demotes to disk whenever the tier has room.
         policy: ``"retention"`` (default), ``"lru"``, or a custom scorer.
         chunk_size: eviction granularity (32 in the paper).
         unified: batch prefill and generation together (§4.2); ``False``
@@ -86,6 +98,8 @@ class PensieveEngine(EngineBase):
         spec: GpuSpec,
         batch_config: Optional[BatchConfig] = None,
         cpu_cache_tokens: Optional[int] = None,
+        disk_cache_tokens: int = 0,
+        placement: Optional[TierPlacement] = None,
         policy: object = "retention",
         chunk_size: int = 32,
         unified: bool = True,
@@ -113,15 +127,22 @@ class PensieveEngine(EngineBase):
         scorer = self._resolve_policy(policy, cost_model, chunk_size)
         self.fault_plan = fault_plan
         self.retry_policy = retry_policy or RetryPolicy()
-        self.manager = TwoTierCacheManager(
+        self.manager = TieredCacheManager(
             gpu_capacity_tokens=gpu_tokens,
             cpu_capacity_tokens=cpu_cache_tokens,
+            disk_capacity_tokens=disk_cache_tokens,
+            placement=placement,
             chunk_size=chunk_size,
             scorer=scorer,
             whole_conversation_eviction=whole_conversation_eviction,
             fault_plan=fault_plan,
             fault_counters=self.metrics.faults,
         )
+        # Demotions (CPU -> DISK) happen inside manager eviction calls;
+        # the observer collects them so each call site can price the
+        # whole cluster as ONE coalesced NVMe write.
+        self.manager.observer = self._on_transition
+        self._pending_demotions: List[int] = []
         # Tensor parallelism shards the KV feature dimension, so each of
         # the N workers moves 1/N of the bytes over its own PCIe link
         # (§4.4.2): aggregate host-link bandwidth scales with num_gpus.
@@ -129,6 +150,14 @@ class PensieveEngine(EngineBase):
             bandwidth=spec.pcie_bandwidth * config.num_gpus,
             duplex_penalty=spec.pcie_duplex_penalty,
             prioritize_retrieval=prioritize_retrieval,
+        )
+        # The NVMe drive is a host-side device: unlike the PCIe links its
+        # bandwidth does not scale with tensor-parallel width.
+        self.nvme = NvmeEngine(
+            read_bandwidth=spec.nvme_read_bandwidth,
+            write_bandwidth=spec.nvme_write_bandwidth,
+            mixed_penalty=spec.nvme_mixed_penalty,
+            min_latency=spec.nvme_min_latency,
         )
         self._prefill_info: Dict[int, _PrefillInfo] = {}
         # Per-iteration stash set by _form_batch, consumed by _execute.
@@ -151,6 +180,7 @@ class PensieveEngine(EngineBase):
         super().set_tracer(tracer)
         self.manager.tracer = self.tracer
         self.pcie.tracer = self.tracer
+        self.nvme.tracer = self.tracer
 
     def _trace_gauges(self, now: float) -> None:
         tracer = self.tracer
@@ -160,6 +190,8 @@ class PensieveEngine(EngineBase):
         tracer.gauge("kv.reclaimable_tokens", manager.reclaimable_tokens, t=now)
         tracer.gauge("kv.evictable_tokens", manager.evictable_gpu_tokens, t=now)
         tracer.gauge("kv.cpu_used_tokens", manager.cpu_used_tokens, t=now)
+        if manager.disk_capacity_tokens > 0:
+            tracer.gauge("kv.disk_used_tokens", manager.disk_used_tokens, t=now)
         tracer.gauge(
             "kv.fragmentation_tokens", manager.fragmentation_tokens(), t=now
         )
@@ -178,6 +210,41 @@ class PensieveEngine(EngineBase):
         if callable(policy):
             return policy  # custom scorer
         raise ValueError(f"unknown eviction policy {policy!r}")
+
+    # ------------------------------------------------------------------
+    # Disk-tier (NVMe) traffic
+    # ------------------------------------------------------------------
+
+    def _on_transition(
+        self,
+        cache: ConversationCache,
+        chunk: Chunk,
+        old: ChunkLocation,
+        new: ChunkLocation,
+    ) -> None:
+        """Collect CPU -> DISK demotions for coalesced NVMe pricing."""
+        if old is ChunkLocation.CPU and new is ChunkLocation.DISK:
+            self._pending_demotions.append(chunk.num_tokens)
+
+    def _flush_demotions(self, now: float) -> None:
+        """Price every demotion since the last flush as ONE stacked NVMe
+        write — the disk-tier analogue of coalesced PCIe swap-out."""
+        if not self._pending_demotions:
+            return
+        tokens = sum(self._pending_demotions)
+        chunks = len(self._pending_demotions)
+        self._pending_demotions.clear()
+        record = self.nvme.write(
+            now,
+            tokens * self.model_config.kv_bytes_per_token,
+            num_chunks=chunks,
+        )
+        self.trace.record(now, "disk_demote", tokens=tokens, chunks=chunks)
+        if self.tracer.enabled:
+            self.tracer.complete(
+                "disk_demote", now, record.end_time, track="cache",
+                tokens=tokens, chunks=chunks,
+            )
 
     # ------------------------------------------------------------------
     # Batch formation (§4.2)
@@ -330,26 +397,53 @@ class PensieveEngine(EngineBase):
 
     def _do_admit(self, request, plan, now: float) -> None:
         self.wait_queue.popleft()
+        if plan.disk_read_tokens > 0:
+            plan = self._disk_read_with_faults(request, plan, now)
         if plan.swap_in_tokens > 0:
             plan = self._swap_in_with_faults(request, plan, now)
-        if plan.swap_in_tokens > 0:
-            swap_bytes = plan.swap_in_tokens * self.model_config.kv_bytes_per_token
+        h2d_enqueue = now
+        if plan.disk_read_tokens > 0:
+            # One coalesced NVMe read brings the disk prefix into host
+            # memory; its bytes then ride the same H2D transfer as the
+            # CPU-resident chunks, enqueued when the read lands.
+            disk_bytes = (
+                plan.disk_read_tokens * self.model_config.kv_bytes_per_token
+            )
+            record = self.nvme.read(
+                now, disk_bytes, num_chunks=len(plan.disk_read_chunks)
+            )
+            h2d_enqueue = record.end_time
+            self.trace.record(
+                now, "disk_read", request_id=request.request_id,
+                tokens=plan.disk_read_tokens, seconds=record.end_time - now,
+            )
+            if self.tracer.enabled:
+                self.tracer.complete(
+                    "disk_read", now, record.end_time, track="cache",
+                    request_id=request.request_id, conv_id=request.conv_id,
+                    tokens=plan.disk_read_tokens,
+                )
+        h2d_tokens = plan.swap_in_tokens + plan.disk_read_tokens
+        if h2d_tokens > 0:
+            swap_bytes = h2d_tokens * self.model_config.kv_bytes_per_token
             # One coalesced H2D transfer for every chunk in the plan.
             record = self.pcie.swap_in(
-                now, swap_bytes, num_chunks=len(plan.swap_in_chunks)
+                h2d_enqueue,
+                swap_bytes,
+                num_chunks=len(plan.swap_in_chunks) + len(plan.disk_read_chunks),
             )
             self._iter_swap_in_seconds = max(
                 self._iter_swap_in_seconds, record.end_time - now
             )
             self.trace.record(
                 now, "swap_in", request_id=request.request_id,
-                tokens=plan.swap_in_tokens, seconds=record.end_time - now,
+                tokens=h2d_tokens, seconds=record.end_time - now,
             )
             if self.tracer.enabled:
                 self.tracer.complete(
                     "swap_in", now, record.end_time, track="cache",
                     request_id=request.request_id, conv_id=request.conv_id,
-                    tokens=plan.swap_in_tokens,
+                    tokens=h2d_tokens,
                 )
         self.manager.commit_restore(plan, now)
         request.prefill_tokens = plan.prefill_tokens
@@ -364,6 +458,7 @@ class PensieveEngine(EngineBase):
         self.trace.record(
             now, "admit", request_id=request.request_id,
             gpu_hits=plan.gpu_hit_tokens, swap_in=plan.swap_in_tokens,
+            disk_read=plan.disk_read_tokens,
             recompute=plan.recompute_tokens, new=plan.new_tokens,
         )
         if self.tracer.enabled:
@@ -371,6 +466,7 @@ class PensieveEngine(EngineBase):
                 "admit", t=now, track="engine",
                 request_id=request.request_id, conv_id=request.conv_id,
                 gpu_hits=plan.gpu_hit_tokens, swap_in=plan.swap_in_tokens,
+                disk_read=plan.disk_read_tokens,
                 recompute=plan.recompute_tokens, new=plan.new_tokens,
             )
             if plan.recompute_tokens > 0:
@@ -420,6 +516,48 @@ class PensieveEngine(EngineBase):
             )
         return self.manager.plan_restore(request.conv_id, request.prompt_tokens)
 
+    def _disk_read_with_faults(self, request, plan, now: float):
+        """Model the NVMe read's failure modes before it is priced.
+
+        A terminal stall, or a corrupt disk chunk caught by the store
+        checksum, invalidates the disk prefix only (``DISK -> DROPPED``) —
+        CPU-resident chunks behind it still swap in normally — and the
+        plan is recomputed; ``alloc_tokens`` is unchanged (disk-read
+        tokens become recompute tokens), so the admission checks already
+        performed remain valid.  Returns the effective plan.
+        """
+        if self.fault_plan is None:
+            return plan
+        ok, retries, delay = attempt_with_retries(
+            self.fault_plan, FaultSite.NVME_STALL, self.retry_policy,
+            tracer=self.tracer,
+        )
+        self.metrics.faults.retries += retries
+        self._iter_fault_delay += delay
+        if retries > 0 or not ok:
+            self.metrics.faults.nvme_stalls += 1
+        corrupt = ok and self.fault_plan.fires(FaultSite.DISK_READ)
+        if ok and not corrupt:
+            return plan
+        if not ok:
+            self.metrics.faults.disk_read_failures += 1
+        if corrupt:
+            self.metrics.faults.corrupted_chunks += len(plan.disk_read_chunks)
+        self.metrics.faults.recompute_fallbacks += 1
+        invalidated = self.manager.invalidate_disk_prefix(request.conv_id)
+        self.trace.record(
+            now, "disk_read_fallback", request_id=request.request_id,
+            tokens=invalidated, corrupt=corrupt,
+        )
+        if self.tracer.enabled:
+            self.tracer.count("fault.recompute_fallbacks")
+            self.tracer.instant(
+                "disk_read_fallback", t=now, track="cache",
+                request_id=request.request_id, conv_id=request.conv_id,
+                tokens=invalidated, corrupt=corrupt,
+            )
+        return self.manager.plan_restore(request.conv_id, request.prompt_tokens)
+
     def _idle_retry_delay(self, now: float) -> Optional[float]:
         """Retry blocked admissions when the next pending copy settles
         (or shortly, when progress came from instant drops)."""
@@ -434,6 +572,7 @@ class PensieveEngine(EngineBase):
         if deficit <= 0:
             return
         copied = self.manager.swap_out(self.manager.reclaimable_tokens + deficit, now)
+        self._flush_demotions(now)
         copied_tokens = sum(c.num_tokens for c in copied)
         if copied_tokens:
             record = self.pcie.swap_out(
@@ -512,6 +651,7 @@ class PensieveEngine(EngineBase):
         copied = self.manager.swap_out(
             self.manager.reclaimable_tokens + (target - available), now
         )
+        self._flush_demotions(now)
         copied_tokens = sum(c.num_tokens for c in copied)
         if copied_tokens:
             record = self.pcie.swap_out(

@@ -8,8 +8,10 @@ physically moving KV data exactly as the cache manager decides —
 - finished turns leave their KV-tokens in GPU pages (stateful serving);
 - under GPU pressure, leading chunks are *copied* to the CPU store
   (§4.3.2), their pages vacated only on reclaim;
-- under CPU pressure, leading chunks are dropped and later *recomputed*
-  from the raw-token persistent store via the Figure 8 sub-request path;
+- under CPU pressure, leading chunks are demoted to the disk store (when
+  a disk tier is configured and the cross-tier retention score approves)
+  or dropped and later *recomputed* from the raw-token persistent store
+  via the Figure 8 sub-request path;
 - returning conversations swap their CPU chunks back into (different!)
   GPU pages, exercising the non-contiguous multi-token attention kernel.
 
@@ -36,9 +38,13 @@ from repro.faults import (
     attempt_with_retries,
 )
 from repro.kvcache.chunks import Chunk, ChunkLocation, ConversationCache
-from repro.kvcache.manager import EvictionScorer, TwoTierCacheManager
+from repro.kvcache.manager import (
+    EvictionScorer,
+    TierPlacement,
+    TieredCacheManager,
+)
 from repro.kvcache.pages import BlockTable, PagePool
-from repro.kvcache.storage import CpuChunkStore, KVStorage
+from repro.kvcache.storage import CpuChunkStore, DiskChunkStore, KVStorage
 from repro.model.config import ModelConfig, tiny_opt_config
 from repro.model.sampling import GREEDY, SamplingParams, sample_token
 from repro.model.transformer import ForwardRequest, PagedTransformer
@@ -47,7 +53,7 @@ from repro.workload.tokenizer import SimpleTokenizer
 
 
 class StatefulChatServer:
-    """Serve multi-turn chats with a two-tier KV cache over real tensors.
+    """Serve multi-turn chats with a tiered KV cache over real tensors.
 
     Args:
         config: model configuration (tiny presets recommended; weights are
@@ -55,6 +61,13 @@ class StatefulChatServer:
             quality).
         gpu_capacity_tokens: GPU-tier size in KV-token slots.
         cpu_capacity_tokens: CPU-tier size (0 = GPU-cache-only variant).
+        disk_capacity_tokens: disk (NVMe) tier size behind the CPU; 0
+            (the default) disables the tier, reproducing the two-tier
+            behaviour exactly.
+        placement: cross-tier placement policy deciding whether a chunk
+            leaving the CPU is demoted to disk or dropped (see
+            :class:`~repro.core.eviction.TieredPlacementPolicy`);
+            ``None`` demotes whenever the disk tier has room.
         chunk_size: eviction granularity; must be a multiple of
             ``page_size``.
         page_size: tokens per GPU page.
@@ -80,6 +93,8 @@ class StatefulChatServer:
         config: Optional[ModelConfig] = None,
         gpu_capacity_tokens: int = 512,
         cpu_capacity_tokens: int = 2048,
+        disk_capacity_tokens: int = 0,
+        placement: Optional[TierPlacement] = None,
         chunk_size: int = 16,
         page_size: int = 8,
         scorer: Optional[EvictionScorer] = None,
@@ -120,13 +135,20 @@ class StatefulChatServer:
             fault_plan=fault_plan,
             verify_on_read=verify_on_read,
         )
+        self.disk_store = DiskChunkStore(
+            disk_capacity_tokens,
+            fault_plan=fault_plan,
+            verify_on_read=verify_on_read,
+        )
         self.model = PagedTransformer(
             self.config, self.storage, seed=seed, use_fast_paths=use_fast_paths
         )
         self.tokenizer = tokenizer or SimpleTokenizer(self.config.vocab_size)
-        self.manager = TwoTierCacheManager(
+        self.manager = TieredCacheManager(
             gpu_capacity_tokens=gpu_capacity_tokens,
             cpu_capacity_tokens=cpu_capacity_tokens,
+            disk_capacity_tokens=disk_capacity_tokens,
+            placement=placement,
             chunk_size=chunk_size,
             scorer=scorer or LruPolicy(),
             fault_plan=fault_plan,
@@ -160,6 +182,7 @@ class StatefulChatServer:
         self.tracer = tracer
         self.manager.tracer = tracer
         self.cpu_store.tracer = tracer
+        self.disk_store.tracer = tracer
 
     # ------------------------------------------------------------------
     # Physical mirror of the manager's tier transitions
@@ -222,6 +245,25 @@ class StatefulChatServer:
             # prefix is being invalidated after a corrupt read.
             if self.cpu_store.contains(cache.conv_id, chunk.index):
                 self.cpu_store.drop(cache.conv_id, chunk.index)
+        elif old is ChunkLocation.CPU and new is ChunkLocation.DISK:
+            # Demotion under host-memory pressure: the bytes move to the
+            # disk store together with their *insertion-time* checksum —
+            # no re-verify on the way down, so corruption acquired in host
+            # DRAM is still caught at the eventual disk read (end-to-end
+            # integrity).  A still-deferred D2H copy must land first.
+            if self._has_pending_copy(cache.conv_id, chunk.index):
+                self._flush_pending_copies()
+            self.cpu_store.transfer_to(self.disk_store, cache.conv_id, chunk.index)
+        elif old is ChunkLocation.DISK and new is ChunkLocation.DROPPED:
+            # Disk eviction or post-read invalidation; the entry may
+            # already be gone when a popped disk prefix is invalidated
+            # after a corrupt read.
+            if self.disk_store.contains(cache.conv_id, chunk.index):
+                self.disk_store.drop(cache.conv_id, chunk.index)
+        elif old is ChunkLocation.DISK and new is ChunkLocation.GPU:
+            # Disk restore is orchestrated by chat() alongside the CPU
+            # swap-in batch; nothing here.
+            pass
         elif old is ChunkLocation.CPU and new is ChunkLocation.GPU:
             # Swap-in is orchestrated by chat() (restore_front needs the
             # whole vacated prefix handled in one batch); nothing here.
@@ -378,6 +420,8 @@ class StatefulChatServer:
         # ``forget`` bypasses the observer, so mirror the cleanup here.
         for chunk_index in self.cpu_store.chunks_of(conv_id):
             self.cpu_store.drop(conv_id, chunk_index)
+        for chunk_index in self.disk_store.chunks_of(conv_id):
+            self.disk_store.drop(conv_id, chunk_index)
         self.raw_tokens.pop(conv_id, None)
 
     def _fail_request(
@@ -540,10 +584,25 @@ class StatefulChatServer:
             raise self._fail_request(conv_id, FaultSite.GPU_ALLOC, attempts)
         plan = self.manager.plan_restore(conv_id, len(prompt_ids))
 
+        # NVMe read fault (disk tier): a terminal stall falls back to
+        # recomputing the disk-resident prefix only — the CPU-resident
+        # chunks behind it are unaffected and still swap in normally.
+        # ``alloc_tokens`` is unchanged (disk-read tokens become recompute
+        # tokens), so the capacity work below is identical either way.
+        if plan.disk_read_chunks:
+            ok, _ = self._attempt(FaultSite.NVME_STALL)
+            if not ok:
+                self.fault_counters.disk_read_failures += 1
+                self.fault_counters.recompute_fallbacks += 1
+                self.manager.invalidate_disk_prefix(conv_id)
+                plan = self.manager.plan_restore(conv_id, len(prompt_ids))
+
         # PCIe swap-in transfer fault: a terminal failure falls back to
         # the §4.3.4 recompute path.  ``alloc_tokens`` is unchanged (the
         # swap-in tokens become recompute tokens), so the capacity work
-        # below is identical either way.
+        # below is identical either way.  Invalidating the CPU prefix
+        # necessarily takes any preceding disk chunks with it (Figure 5:
+        # the dropped prefix only grows from the front).
         if plan.swap_in_chunks:
             ok, _ = self._attempt(FaultSite.SWAP_IN)
             if not ok:
@@ -564,31 +623,48 @@ class StatefulChatServer:
                 exclude=conv_id,
             )
 
-        # Pull the swap-in chunks' data out of the CPU store *before*
-        # commit flips their state (the observer drops CPU entries on
-        # promotion of GPU_CPU chunks only; CPU->GPU data is handled here).
-        # All chunks move in ONE coalesced batch; each is still CRC
-        # re-verified individually against its insertion-time checksum.
+        # Pull the stored chunks' data out of the disk and CPU stores
+        # *before* commit flips their state (the observer drops CPU
+        # entries on promotion of GPU_CPU chunks only; DISK->GPU and
+        # CPU->GPU data is handled here).  Each tier's chunks move in ONE
+        # coalesced batch; each chunk is still CRC re-verified
+        # individually against its insertion-time checksum — for a
+        # disk-resident chunk that checksum dates from its original GPU
+        # departure, so the check spans the whole CPU->disk journey.
         # Capture ranges now: commit_restore may extend the partial tail
         # chunk in place, but the stored data covers the pre-extension
         # token range.
         restored_data = []
         corrupt_upto: Optional[Chunk] = None
-        if plan.swap_in_chunks:
-            by_index = {chunk.index: chunk for chunk in plan.swap_in_chunks}
-            popped, corrupt = self.cpu_store.pop_many(
-                conv_id, [chunk.index for chunk in plan.swap_in_chunks]
-            )
+        stored_chunks = plan.disk_read_chunks + plan.swap_in_chunks
+        if stored_chunks:
+            by_index = {chunk.index: chunk for chunk in stored_chunks}
+            popped: List[Tuple[int, Tuple[np.ndarray, np.ndarray]]] = []
+            corrupt: List[int] = []
+            if plan.disk_read_chunks:
+                disk_popped, disk_corrupt = self.disk_store.pop_many(
+                    conv_id, [chunk.index for chunk in plan.disk_read_chunks]
+                )
+                popped.extend(disk_popped)
+                corrupt.extend(disk_corrupt)
+            if plan.swap_in_chunks:
+                cpu_popped, cpu_corrupt = self.cpu_store.pop_many(
+                    conv_id, [chunk.index for chunk in plan.swap_in_chunks]
+                )
+                popped.extend(cpu_popped)
+                corrupt.extend(cpu_corrupt)
             self.fault_counters.corrupted_chunks += len(corrupt)
             if corrupt:
+                # Disk chunks precede CPU chunks (Figure 5 extended), and
+                # each pop preserves request order, so the list ascends.
                 corrupt_upto = by_index[corrupt[-1]]
             restored_data = [
                 (by_index[index].start, by_index[index].end, data)
                 for index, data in popped
             ]
         if corrupt_upto is not None:
-            # Checksum caught host-side corruption: invalidate the CPU
-            # prefix through the (last) corrupt chunk — the Figure 5
+            # Checksum caught corruption: invalidate the stored (disk +
+            # CPU) prefix through the (last) corrupt chunk — the Figure 5
             # layout only lets the DROPPED prefix grow, so already-popped
             # predecessors are discarded too — and recompute those tokens.
             self.fault_counters.recompute_fallbacks += 1
@@ -601,14 +677,17 @@ class StatefulChatServer:
             self.tracer.instant(
                 "restore", t=now, track="server", conv_id=conv_id,
                 gpu_hits=plan.gpu_hit_tokens, swap_in=plan.swap_in_tokens,
+                disk_read=plan.disk_read_tokens,
                 recompute=plan.recompute_tokens, new=plan.new_tokens,
             )
         self.manager.commit_restore(plan, now)
 
         # Physically restore the vacated prefix: dropped tokens get fresh
-        # (empty) slots to be filled by recomputation; CPU tokens get
-        # fresh slots filled from the store.
-        restore_tokens = plan.recompute_tokens + plan.swap_in_tokens
+        # (empty) slots to be filled by recomputation; disk and CPU tokens
+        # get fresh slots filled from their stores.
+        restore_tokens = (
+            plan.recompute_tokens + plan.swap_in_tokens + plan.disk_read_tokens
+        )
         if restore_tokens:
             table.restore_front(restore_tokens)
         if restored_data:

@@ -36,6 +36,11 @@ class FaultSite(enum.Enum):
     GPU_ALLOC = "gpu_alloc"      #: GPU page/slot allocation.
     CPU_READ = "cpu_read"        #: CPU-store read (checksum corruption).
     WORKER_STEP = "worker_step"  #: one worker's iteration (multi-GPU stall).
+    # New sites are appended so earlier sites keep their derived RNG
+    # streams (``[seed, ordinal]``) and existing chaos schedules replay
+    # bit-identically.
+    DISK_READ = "disk_read"      #: disk-store read (checksum corruption).
+    NVME_STALL = "nvme_stall"    #: NVMe transfer stall (disk-tier I/O).
 
 
 class FaultPlan:
@@ -125,13 +130,17 @@ class FaultCounters:
     - ``swap_in_failures`` / ``swap_out_failures``: PCIe transfers that
       failed terminally (after retries);
     - ``alloc_faults``: GPU allocation attempts that faulted at least once;
-    - ``corrupted_chunks``: CPU-store chunks caught by checksum;
+    - ``corrupted_chunks``: CPU- or disk-store chunks caught by checksum;
     - ``recompute_fallbacks``: restores that fell back to the §4.3.4
       recomputation path after a failed/corrupt swap-in;
     - ``retries``: individual retry attempts across all sites;
     - ``degraded_requests``: requests that failed individually after
       exhausting their retry budget (the batch continued without them);
-    - ``worker_stalls``: injected multi-GPU worker stalls absorbed.
+    - ``worker_stalls``: injected multi-GPU worker stalls absorbed;
+    - ``nvme_stalls``: injected NVMe transfer stalls absorbed (retried
+      in the functional server, modeled as added latency in the engine);
+    - ``disk_read_failures``: disk-tier reads that failed terminally
+      (after retries) and degraded the disk prefix to recompute.
     """
 
     swap_in_failures: int = 0
@@ -142,6 +151,8 @@ class FaultCounters:
     retries: int = 0
     degraded_requests: int = 0
     worker_stalls: int = 0
+    nvme_stalls: int = 0
+    disk_read_failures: int = 0
     _extra: dict = field(default_factory=dict, repr=False)
 
     def as_dict(self) -> Dict[str, int]:
@@ -154,6 +165,8 @@ class FaultCounters:
             "retries": self.retries,
             "degraded_requests": self.degraded_requests,
             "worker_stalls": self.worker_stalls,
+            "nvme_stalls": self.nvme_stalls,
+            "disk_read_failures": self.disk_read_failures,
         }
 
     @property

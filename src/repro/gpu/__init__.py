@@ -11,12 +11,16 @@ This subpackage substitutes for the A100 hardware of the paper's testbed:
 - :mod:`repro.gpu.pcie` — a host link transfer engine with the full-duplex
   contention the paper measured (§5) and the retrieval-over-eviction
   prioritization optimisation;
+- :mod:`repro.gpu.nvme` — the disk-tier transfer engine: asymmetric
+  read/write bandwidth, mixed-queue contention, reads-over-writes
+  prioritization, and per-I/O command latency;
 - :mod:`repro.gpu.profiler` — the offline power-of-two profiling +
   interpolation used by the retention-value eviction policy (§4.3.1).
 """
 
 from repro.gpu.device import A100_80GB, GpuSpec
 from repro.gpu.costmodel import BatchShape, CostModel, KernelVariant
+from repro.gpu.nvme import NvmeDirection, NvmeEngine, NvmeTransferRecord
 from repro.gpu.pcie import Direction, PcieEngine, TransferRecord
 from repro.gpu.profiler import AttentionCostProfile, OfflineProfiler
 
@@ -29,6 +33,9 @@ __all__ = [
     "PcieEngine",
     "Direction",
     "TransferRecord",
+    "NvmeEngine",
+    "NvmeDirection",
+    "NvmeTransferRecord",
     "OfflineProfiler",
     "AttentionCostProfile",
 ]

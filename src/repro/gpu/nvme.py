@@ -1,0 +1,207 @@
+"""NVMe (disk-tier) transfer engine.
+
+Models the host<->SSD copies the third cache tier uses for KV-chunk
+demotion and promotion, mirroring :class:`repro.gpu.pcie.PcieEngine`
+exactly in structure so that every accounting identity the observability
+layer checks for PCIe (byte counters == ``bytes_moved``, one
+``min_latency`` per coalesced transfer) holds for NVMe too.  Differences
+from the PCIe model reflect SSD physics:
+
+- **Asymmetric bandwidth.**  Sustained sequential read is much faster
+  than sustained write on datacenter NVMe, so each direction carries its
+  own bandwidth instead of one shared number.
+- **Mixed-queue penalty.**  Concurrent reads and writes degrade both
+  (flash program operations block reads); modeled like PCIe duplex
+  contention with a configurable factor.
+- **Reads-over-writes prioritization.**  Demotion (write) is ahead-of-time
+  and deferrable; promotion (read) is on the critical path of a restore,
+  so writes wait for in-flight reads to drain — the same rationale as
+  Pensieve's retrieval-over-eviction PCIe rule (§5).
+- **Higher fixed latency.**  One NVMe command round-trip dwarfs a PCIe
+  DMA setup, which is exactly why coalescing multi-chunk batches into a
+  single stacked transfer matters more on this tier.
+
+The engine is a pure timing model: callers pass the current simulated time
+and receive a completion time; actual bytes never move.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.obs.tracer import NULL_TRACER
+
+
+class NvmeDirection(enum.Enum):
+    """Transfer direction over the host<->SSD link."""
+
+    READ = "read"    #: SSD to host: chunk promotion (restore path).
+    WRITE = "write"  #: host to SSD: chunk demotion (eviction path).
+
+    @property
+    def opposite(self) -> "NvmeDirection":
+        return (
+            NvmeDirection.WRITE
+            if self is NvmeDirection.READ
+            else NvmeDirection.READ
+        )
+
+
+@dataclass(frozen=True)
+class NvmeTransferRecord:
+    """Outcome of one enqueued NVMe transfer.
+
+    ``num_chunks`` records how many KV chunks the transfer coalesced: the
+    tiered manager moves multi-chunk batches as ONE I/O submission (one
+    record, one queueing decision, one latency term) rather than one per
+    chunk.
+    """
+
+    direction: NvmeDirection
+    num_bytes: float
+    enqueue_time: float
+    start_time: float
+    end_time: float
+    num_chunks: int = 1
+
+    @property
+    def duration(self) -> float:
+        return self.end_time - self.start_time
+
+    @property
+    def queue_delay(self) -> float:
+        return self.start_time - self.enqueue_time
+
+
+class NvmeEngine:
+    """Serialises NVMe I/O per direction and models mixed-queue contention.
+
+    Each direction behaves like a FIFO submission queue: a new transfer
+    starts at ``max(now, busy_until[direction])``.  If, at its start time,
+    the opposite queue is still draining, the transfer's bandwidth is
+    reduced by the mixed-queue penalty (applied for the whole transfer,
+    conservatively, exactly like the PCIe duplex simplification).
+    """
+
+    def __init__(
+        self,
+        read_bandwidth: float,
+        write_bandwidth: float,
+        mixed_penalty: float = 0.70,
+        prioritize_reads: bool = True,
+        min_latency: float = 80e-6,
+    ) -> None:
+        if read_bandwidth <= 0 or write_bandwidth <= 0:
+            raise ValueError(
+                f"bandwidths must be positive, got read={read_bandwidth} "
+                f"write={write_bandwidth}"
+            )
+        if not 0.0 < mixed_penalty <= 1.0:
+            raise ValueError(f"mixed_penalty must be in (0, 1], got {mixed_penalty}")
+        self.bandwidth = {
+            NvmeDirection.READ: read_bandwidth,
+            NvmeDirection.WRITE: write_bandwidth,
+        }
+        self.mixed_penalty = mixed_penalty
+        self.prioritize_reads = prioritize_reads
+        self.min_latency = min_latency
+        self._busy_until = {NvmeDirection.READ: 0.0, NvmeDirection.WRITE: 0.0}
+        self._history: List[NvmeTransferRecord] = []
+        self.bytes_moved = {NvmeDirection.READ: 0.0, NvmeDirection.WRITE: 0.0}
+        #: Observability sink (``repro.obs``); every transfer becomes an
+        #: ``nvme.read`` / ``nvme.write`` span and a byte counter that
+        #: reconciles exactly with :attr:`bytes_moved`.
+        self.tracer = NULL_TRACER
+
+    def busy_until(self, direction: NvmeDirection) -> float:
+        """Time at which the given direction's queue drains."""
+        return self._busy_until[direction]
+
+    def transfer(
+        self,
+        now: float,
+        num_bytes: float,
+        direction: NvmeDirection,
+        num_chunks: int = 1,
+    ) -> NvmeTransferRecord:
+        """Enqueue a transfer of ``num_bytes`` at simulated time ``now``.
+
+        ``num_chunks`` is the number of KV chunks the transfer coalesces
+        (pure accounting; the timing model charges one ``min_latency``
+        regardless — that *is* the coalescing win, and it is larger here
+        than on PCIe because NVMe command latency is ~an order of
+        magnitude higher).
+
+        Returns the resulting :class:`NvmeTransferRecord`; the engine's
+        internal busy-until state advances to the transfer's end time.
+        """
+        if num_bytes < 0:
+            raise ValueError(f"num_bytes must be non-negative, got {num_bytes}")
+        if num_chunks < 1:
+            raise ValueError(f"num_chunks must be >= 1, got {num_chunks}")
+        start = max(now, self._busy_until[direction])
+        if (
+            self.prioritize_reads
+            and direction is NvmeDirection.WRITE
+            and self._busy_until[NvmeDirection.READ] > start
+        ):
+            # Demotion defers to in-flight promotion (restore path first).
+            start = self._busy_until[NvmeDirection.READ]
+        bandwidth = self.bandwidth[direction]
+        if self._busy_until[direction.opposite] > start:
+            bandwidth *= self.mixed_penalty
+        duration = self.min_latency + num_bytes / bandwidth if num_bytes > 0 else 0.0
+        end = start + duration
+        self._busy_until[direction] = max(self._busy_until[direction], end)
+        record = NvmeTransferRecord(
+            direction=direction,
+            num_bytes=num_bytes,
+            enqueue_time=now,
+            start_time=start,
+            end_time=end,
+            num_chunks=num_chunks,
+        )
+        self._history.append(record)
+        self.bytes_moved[direction] += num_bytes
+        if self.tracer.enabled:
+            name = f"nvme.{direction.value}"
+            self.tracer.complete(
+                name,
+                start,
+                end,
+                track="nvme",
+                bytes=num_bytes,
+                queue_delay=start - now,
+                chunks=num_chunks,
+            )
+            self.tracer.count(f"{name}_bytes", num_bytes)
+            self.tracer.count(f"{name}_transfers")
+            self.tracer.count(f"{name}_chunks", num_chunks)
+        return record
+
+    def read(
+        self, now: float, num_bytes: float, num_chunks: int = 1
+    ) -> NvmeTransferRecord:
+        """SSD-to-host transfer (chunk promotion on the restore path)."""
+        return self.transfer(now, num_bytes, NvmeDirection.READ, num_chunks)
+
+    def write(
+        self, now: float, num_bytes: float, num_chunks: int = 1
+    ) -> NvmeTransferRecord:
+        """Host-to-SSD transfer (ahead-of-time chunk demotion)."""
+        return self.transfer(now, num_bytes, NvmeDirection.WRITE, num_chunks)
+
+    def idle_at(self, now: float) -> bool:
+        """True when both directions have drained by ``now``."""
+        return all(t <= now for t in self._busy_until.values())
+
+    @property
+    def history(self) -> List[NvmeTransferRecord]:
+        """All transfers performed so far, in enqueue order."""
+        return list(self._history)
+
+    def last(self) -> Optional[NvmeTransferRecord]:
+        """Most recently enqueued transfer, if any."""
+        return self._history[-1] if self._history else None

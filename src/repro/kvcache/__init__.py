@@ -1,4 +1,4 @@
-"""Paged, two-tier KV-cache management.
+"""Paged, tiered KV-cache management.
 
 The Pensieve design stores a conversation's KV-tokens in a hierarchy:
 
@@ -8,11 +8,14 @@ The Pensieve design stores a conversation's KV-tokens in a hierarchy:
   context may occupy non-contiguous physical slots);
 - a **CPU tier** holding chunks swapped out of the GPU ahead of time
   (§4.3.2), from which chunks may later be dropped entirely under memory
-  pressure, to be recomputed on demand (§4.3.4).
+  pressure, to be recomputed on demand (§4.3.4);
+- an optional **disk tier** (modeled NVMe) behind the CPU tier, holding
+  chunks demoted under host-memory pressure whose retention value still
+  beats recomputation — the capacity extension ROADMAP item 3 calls for.
 
 Chunk bookkeeping (:mod:`repro.kvcache.chunks`) tracks, for every
 conversation, which 32-token chunks live where; the
-:class:`~repro.kvcache.manager.TwoTierCacheManager` makes placement and
+:class:`~repro.kvcache.manager.TieredCacheManager` makes placement and
 eviction decisions using a pluggable policy (policies themselves live in
 :mod:`repro.core.eviction`).  The numpy backing store
 (:mod:`repro.kvcache.storage`) is optional: the performance simulation runs
@@ -21,8 +24,8 @@ the same bookkeeping without tensors.
 
 from repro.kvcache.pages import BlockTable, PagePool, PagePoolExhausted
 from repro.kvcache.chunks import Chunk, ChunkLocation, ConversationCache
-from repro.kvcache.storage import CpuChunkStore, KVStorage
-from repro.kvcache.manager import CachePlan, TwoTierCacheManager
+from repro.kvcache.storage import CpuChunkStore, DiskChunkStore, KVStorage
+from repro.kvcache.manager import CachePlan, TieredCacheManager, TwoTierCacheManager
 
 __all__ = [
     "PagePool",
@@ -33,6 +36,8 @@ __all__ = [
     "ConversationCache",
     "KVStorage",
     "CpuChunkStore",
+    "DiskChunkStore",
+    "TieredCacheManager",
     "TwoTierCacheManager",
     "CachePlan",
 ]

@@ -3,15 +3,18 @@
 Pensieve evicts at the granularity of fixed-size chunks of KV-tokens
 (32 tokens in the paper, §4.3.1).  Each conversation's cached context is a
 list of :class:`Chunk` records whose locations obey the *layout invariant*
-of Figure 5: along the token sequence, locations are monotone in the order
+of Figure 5, extended with the optional third (disk) tier: along the token
+sequence, locations are monotone in the order
 
-    ``DROPPED``  ->  ``CPU``  ->  ``GPU_CPU``  ->  ``GPU``
+    ``DROPPED``  ->  ``DISK``  ->  ``CPU``  ->  ``GPU_CPU``  ->  ``GPU``
 
-i.e. the earliest tokens are dropped first, then CPU-resident, and the
-latest tokens sit in the GPU.  ``GPU_CPU`` is the lazy-reclaim state of
-§4.3.2: the chunk has been *copied* to the CPU ahead of time but its GPU
-slots have not been handed to anyone else yet, so a returning conversation
-still hits it for free.
+i.e. the earliest tokens are dropped first, then demoted to disk, then
+CPU-resident, and the latest tokens sit in the GPU.  ``GPU_CPU`` is the
+lazy-reclaim state of §4.3.2: the chunk has been *copied* to the CPU ahead
+of time but its GPU slots have not been handed to anyone else yet, so a
+returning conversation still hits it for free.  ``DISK`` is the modeled
+NVMe tier: colder than CPU (higher restore latency) but warmer than
+DROPPED (no recomputation needed).
 """
 
 from __future__ import annotations
@@ -27,15 +30,17 @@ class ChunkLocation(enum.Enum):
     GPU = "gpu"          #: resident in GPU pages only.
     GPU_CPU = "gpu_cpu"  #: copied to CPU, GPU slots not yet reclaimed.
     CPU = "cpu"          #: CPU only; must be swapped in before use.
+    DISK = "disk"        #: NVMe tier; must be read back through the host.
     DROPPED = "dropped"  #: discarded; must be recomputed from raw tokens.
 
 
-#: Layout order used to validate the Figure 5 invariant.
+#: Layout order used to validate the Figure 5 invariant (disk-extended).
 _LAYOUT_RANK = {
     ChunkLocation.DROPPED: 0,
-    ChunkLocation.CPU: 1,
-    ChunkLocation.GPU_CPU: 2,
-    ChunkLocation.GPU: 3,
+    ChunkLocation.DISK: 1,
+    ChunkLocation.CPU: 2,
+    ChunkLocation.GPU_CPU: 3,
+    ChunkLocation.GPU: 4,
 }
 
 
@@ -216,7 +221,7 @@ class ConversationCache:
         seg = self.segments()
         return (
             f"ConversationCache(conv={self.conv_id}, total={self.total_tokens}, "
-            f"dropped={seg[ChunkLocation.DROPPED]}, cpu={seg[ChunkLocation.CPU]}, "
-            f"gpu_cpu={seg[ChunkLocation.GPU_CPU]}, gpu={seg[ChunkLocation.GPU]}, "
-            f"pinned={self.pinned})"
+            f"dropped={seg[ChunkLocation.DROPPED]}, disk={seg[ChunkLocation.DISK]}, "
+            f"cpu={seg[ChunkLocation.CPU]}, gpu_cpu={seg[ChunkLocation.GPU_CPU]}, "
+            f"gpu={seg[ChunkLocation.GPU]}, pinned={self.pinned})"
         )

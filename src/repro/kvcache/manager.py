@@ -1,6 +1,6 @@
-"""Two-tier (GPU/CPU) KV-cache manager.
+"""Tiered (GPU/CPU/disk) KV-cache manager.
 
-The manager owns all token-level accounting for both tiers and implements
+The manager owns all token-level accounting for every tier and implements
 the mechanics of Pensieve's cache design:
 
 - **token-chunk eviction** in ascending score order under a pluggable
@@ -9,22 +9,27 @@ the mechanics of Pensieve's cache design:
   *copied* to the CPU tier (state ``GPU_CPU``) when free GPU space falls
   below a threshold, and their GPU slots are only truly handed over when an
   allocation needs them;
-- **CPU-tier dropping** under CPU memory pressure, with recomputation
-  planned for dropped chunks (§4.3.4);
+- **CPU-tier demotion/dropping** under CPU memory pressure: with the
+  optional disk tier enabled, the paper's retention value V = Cost(s,l)/T
+  is extended *cross-tier* — a chunk leaving the CPU lands on disk when
+  its score justifies NVMe traffic (and may displace strictly
+  lower-scored disk chunks), and is dropped for §4.3.4 recomputation
+  otherwise;
 - **restore planning** (:class:`CachePlan`): given a returning
   conversation, compute exactly which tokens are GPU hits, which must be
-  swapped in from the CPU, and which must be recomputed — the Figure 5
-  decomposition.
+  swapped in from the CPU, which must be read back from disk, and which
+  must be recomputed — the Figure 5 decomposition, disk-extended.
 
-The manager is deliberately time-free: it never talks to the PCIe engine or
-the clock.  Engines ask it *what* to move and separately model *how long*
-the movement takes, which lets the identical bookkeeping drive both the
-functional layer (real numpy tensors) and the performance simulation.
+The manager is deliberately time-free: it never talks to the PCIe or NVMe
+engines or the clock.  Engines ask it *what* to move and separately model
+*how long* the movement takes, which lets the identical bookkeeping drive
+both the functional layer (real numpy tensors) and the performance
+simulation.
 
 Implementation note: the serving simulation calls the accounting
 properties on every scheduling round, so all tier totals are maintained
 incrementally (O(1) reads) and every location change funnels through
-:meth:`TwoTierCacheManager._move`; :meth:`_audit` re-derives the counters
+:meth:`TieredCacheManager._move`; :meth:`_audit` re-derives the counters
 from scratch and is exercised by the test suite.
 """
 
@@ -41,6 +46,11 @@ from repro.obs.tracer import NULL_TRACER
 #: evicted in ascending score order (low retention value goes first).
 EvictionScorer = Callable[[Chunk, float, float], float]
 
+#: Cross-tier placement policy: ``(chunk, last_active, now) -> location``,
+#: deciding where a chunk leaving the CPU tier lands (``DISK`` or
+#: ``DROPPED``).  ``None`` means "always try disk" when the tier exists.
+TierPlacement = Callable[[Chunk, float, float], ChunkLocation]
+
 
 class CacheCapacityError(RuntimeError):
     """Raised when an operation cannot fit in the configured tiers."""
@@ -55,30 +65,39 @@ class CachePlan:
     - ``gpu_hit_tokens``: already resident (``GPU`` or ``GPU_CPU``), free;
     - ``swap_in_chunks`` / ``swap_in_tokens``: CPU-resident, must cross the
       PCIe link before the corresponding layers' attention;
+    - ``disk_read_chunks`` / ``disk_read_tokens``: disk-resident, must be
+      read back over NVMe into the host and then cross the PCIe link;
     - ``recompute_tokens``: dropped, their raw tokens must be prepended to
       the prompt and re-prefix-filled;
     - ``new_tokens``: the request's genuinely new prompt tokens.
 
     ``alloc_tokens`` is the number of fresh GPU slots the plan needs
-    (swap-in + recompute + new); ``total_context`` is the context length
-    after the plan commits.
+    (swap-in + disk-read + recompute + new); ``total_context`` is the
+    context length after the plan commits.
     """
 
     conv_id: int
     gpu_hit_tokens: int = 0
     swap_in_chunks: List[Chunk] = field(default_factory=list)
     swap_in_tokens: int = 0
+    disk_read_chunks: List[Chunk] = field(default_factory=list)
+    disk_read_tokens: int = 0
     recompute_tokens: int = 0
     new_tokens: int = 0
 
     @property
     def alloc_tokens(self) -> int:
-        return self.swap_in_tokens + self.recompute_tokens + self.new_tokens
+        return (
+            self.swap_in_tokens
+            + self.disk_read_tokens
+            + self.recompute_tokens
+            + self.new_tokens
+        )
 
     @property
     def cached_tokens(self) -> int:
-        """Tokens reused without recomputation (hits + swap-ins)."""
-        return self.gpu_hit_tokens + self.swap_in_tokens
+        """Tokens reused without recomputation (hits + swap-ins + disk reads)."""
+        return self.gpu_hit_tokens + self.swap_in_tokens + self.disk_read_tokens
 
     @property
     def prefill_tokens(self) -> int:
@@ -90,6 +109,7 @@ class CachePlan:
         return (
             self.gpu_hit_tokens
             + self.swap_in_tokens
+            + self.disk_read_tokens
             + self.recompute_tokens
             + self.new_tokens
         )
@@ -101,7 +121,7 @@ _GPU_STATES = (ChunkLocation.GPU, ChunkLocation.GPU_CPU)
 _CPU_STATES = (ChunkLocation.CPU, ChunkLocation.GPU_CPU)
 
 
-class TwoTierCacheManager:
+class TieredCacheManager:
     """Token-accounting core of Pensieve's cache hierarchy.
 
     Args:
@@ -109,9 +129,16 @@ class TwoTierCacheManager:
         cpu_capacity_tokens: KV-token slots available on the CPU tier
             (0 disables the CPU tier, producing the paper's
             "Pensieve (GPU cache)" variant).
+        disk_capacity_tokens: KV-token slots available on the disk (NVMe)
+            tier behind the CPU; 0 (the default) disables the tier,
+            reproducing the paper's two-tier behaviour exactly.
         chunk_size: eviction granularity in tokens (32 in the paper).
         scorer: eviction policy; defaults (when ``None``) must be supplied
             before any eviction happens.
+        placement: cross-tier placement policy deciding whether a chunk
+            leaving the CPU tier is demoted to disk or dropped (see
+            :class:`repro.core.eviction.TieredPlacementPolicy`); ``None``
+            demotes whenever the disk tier has (or can make) room.
         fault_plan: optional seeded failure schedule; when set, D2H copies
             may fail and the affected chunks degrade to ``DROPPED`` (their
             tokens recompute later) instead of crashing the manager.
@@ -127,17 +154,23 @@ class TwoTierCacheManager:
         whole_conversation_eviction: bool = False,
         fault_plan: Optional[FaultPlan] = None,
         fault_counters: Optional[FaultCounters] = None,
+        disk_capacity_tokens: int = 0,
+        placement: Optional[TierPlacement] = None,
     ) -> None:
         if gpu_capacity_tokens <= 0:
             raise ValueError("gpu_capacity_tokens must be positive")
         if cpu_capacity_tokens < 0:
             raise ValueError("cpu_capacity_tokens must be non-negative")
+        if disk_capacity_tokens < 0:
+            raise ValueError("disk_capacity_tokens must be non-negative")
         if chunk_size <= 0:
             raise ValueError("chunk_size must be positive")
         self.gpu_capacity_tokens = gpu_capacity_tokens
         self.cpu_capacity_tokens = cpu_capacity_tokens
+        self.disk_capacity_tokens = disk_capacity_tokens
         self.chunk_size = chunk_size
         self.scorer = scorer
+        self.placement = placement
         self.fault_plan = fault_plan
         self.fault_counters = fault_counters or FaultCounters()
         #: CachedAttention-style eviction granularity (paper Table 3):
@@ -155,6 +188,7 @@ class TwoTierCacheManager:
         # Incremental tier totals (see module docstring).
         self._gpu_resident = 0    # tokens in GPU or GPU_CPU
         self._cpu_used = 0        # tokens in CPU or GPU_CPU
+        self._disk_used = 0       # tokens in DISK
         self._reclaimable = 0     # GPU_CPU tokens of unpinned conversations
         self._evictable = 0       # GPU tokens of unpinned conversations
         # Which conversations have at least one chunk in a location.
@@ -166,9 +200,16 @@ class TwoTierCacheManager:
             "lookup_tokens": 0,
             "gpu_hit_tokens": 0,
             "cpu_hit_tokens": 0,
+            "disk_hit_tokens": 0,
             "recomputed_tokens": 0,
             "swapped_out_tokens": 0,
             "dropped_tokens": 0,
+            # Disk-tier traffic: tokens demoted CPU -> DISK under host
+            # memory pressure, and tokens evicted from the disk tier
+            # (each disk eviction also counts into ``dropped_tokens`` —
+            # the tokens become recompute-needing at that moment).
+            "demoted_tokens": 0,
+            "disk_dropped_tokens": 0,
             # Tokens that left the GPU_CPU state (reclaimed to CPU, or
             # promoted back to GPU on reuse) — each such exit consumes one
             # completed ahead-of-time copy; engines use this to track how
@@ -235,6 +276,14 @@ class TwoTierCacheManager:
         return self.cpu_capacity_tokens - self._cpu_used
 
     @property
+    def disk_used_tokens(self) -> int:
+        return self._disk_used
+
+    @property
+    def disk_free_tokens(self) -> int:
+        return self.disk_capacity_tokens - self._disk_used
+
+    @property
     def evictable_gpu_tokens(self) -> int:
         """GPU-only tokens of unpinned conversations (swap-out candidates)."""
         return self._evictable
@@ -263,6 +312,10 @@ class TwoTierCacheManager:
             self._cpu_used -= n
         elif old not in _CPU_STATES and new in _CPU_STATES:
             self._cpu_used += n
+        if old is ChunkLocation.DISK:
+            self._disk_used -= n
+        elif new is ChunkLocation.DISK:
+            self._disk_used += n
         if not cache.pinned:
             if old is ChunkLocation.GPU_CPU:
                 self._reclaimable -= n
@@ -315,15 +368,17 @@ class TwoTierCacheManager:
         Used by the test suite (including property-based tests) to prove
         the incremental accounting can never drift.
         """
-        gpu = cpu = reclaimable = evictable = 0
+        gpu = cpu = disk = reclaimable = evictable = 0
         for cache in self._conversations.values():
             gpu += cache.tokens_in(*_GPU_STATES)
             cpu += cache.tokens_in(*_CPU_STATES)
+            disk += cache.tokens_in(ChunkLocation.DISK)
             if not cache.pinned:
                 reclaimable += cache.tokens_in(ChunkLocation.GPU_CPU)
                 evictable += cache.tokens_in(ChunkLocation.GPU)
         assert gpu == self._gpu_resident, (gpu, self._gpu_resident)
         assert cpu == self._cpu_used, (cpu, self._cpu_used)
+        assert disk == self._disk_used, (disk, self._disk_used)
         assert reclaimable == self._reclaimable, (reclaimable, self._reclaimable)
         assert evictable == self._evictable, (evictable, self._evictable)
         for loc in ChunkLocation:
@@ -366,6 +421,7 @@ class TwoTierCacheManager:
         gpu = cache.tokens_in(*_GPU_STATES)
         self._gpu_resident -= gpu
         self._cpu_used -= cache.tokens_in(*_CPU_STATES)
+        self._disk_used -= cache.tokens_in(ChunkLocation.DISK)
         if not cache.pinned:
             self._reclaimable -= cache.tokens_in(ChunkLocation.GPU_CPU)
             self._evictable -= cache.tokens_in(ChunkLocation.GPU)
@@ -393,6 +449,10 @@ class TwoTierCacheManager:
             plan.gpu_hit_tokens = cache.tokens_in(*_GPU_STATES)
             plan.swap_in_chunks = cache.chunks_in(ChunkLocation.CPU)
             plan.swap_in_tokens = sum(c.num_tokens for c in plan.swap_in_chunks)
+            plan.disk_read_chunks = cache.chunks_in(ChunkLocation.DISK)
+            plan.disk_read_tokens = sum(
+                c.num_tokens for c in plan.disk_read_chunks
+            )
             plan.recompute_tokens = cache.tokens_in(ChunkLocation.DROPPED)
         return plan
 
@@ -409,6 +469,7 @@ class TwoTierCacheManager:
         self._bump("lookup_tokens", plan.total_context - plan.new_tokens)
         self._bump("gpu_hit_tokens", plan.gpu_hit_tokens)
         self._bump("cpu_hit_tokens", plan.swap_in_tokens)
+        self._bump("disk_hit_tokens", plan.disk_read_tokens)
         self._bump("recomputed_tokens", plan.recompute_tokens)
         cache = self.open(plan.conv_id, now)
         if needed > self.gpu_free_tokens + self._reclaimable:
@@ -420,9 +481,10 @@ class TwoTierCacheManager:
             self.reclaim(needed - self.gpu_free_tokens, now, exclude=plan.conv_id)
         for chunk in cache.chunks:
             # Everything the request touches becomes GPU-resident: CPU
-            # chunks are swapped in, dropped chunks recomputed, and
-            # lazily-reclaimable copies are promoted back to GPU-only
-            # (their CPU copy is invalidated on reuse for simplicity).
+            # chunks are swapped in, disk chunks read back and promoted,
+            # dropped chunks recomputed, and lazily-reclaimable copies are
+            # promoted back to GPU-only (their CPU copy is invalidated on
+            # reuse for simplicity).
             self._move(cache, chunk, ChunkLocation.GPU)
         before = cache.total_tokens
         cache.extend_to(before + plan.new_tokens)
@@ -462,20 +524,50 @@ class TwoTierCacheManager:
         self, conv_id: int, upto: Optional[Chunk] = None
     ) -> int:
         """Recovery path for a failed or corrupt swap-in: drop the
-        conversation's CPU chunks from the front through ``upto`` (all of
-        them when ``None``) so the next restore plan recomputes those
-        tokens from the raw-token store (§4.3.4 fallback).
+        conversation's stored (disk + CPU) chunks from the front through
+        ``upto`` (all of them when ``None``) so the next restore plan
+        recomputes those tokens from the raw-token store (§4.3.4 fallback).
 
-        Only the leading prefix may be invalidated — CPU chunks sit right
-        after the ``DROPPED`` prefix, so growing that prefix keeps the
-        Figure 5 layout legal by construction.  Returns tokens invalidated
-        (0 for an unknown conversation — recovery must not raise anew).
+        Only the leading prefix may be invalidated — stored chunks sit
+        right after the ``DROPPED`` prefix (disk first, then CPU), so
+        growing that prefix keeps the Figure 5 layout legal by
+        construction.  When ``upto`` is a CPU chunk, every disk chunk
+        necessarily precedes it and is invalidated too: a surviving
+        ``DISK`` chunk after a new ``DROPPED`` one would break
+        monotonicity.  Returns tokens invalidated (0 for an unknown
+        conversation — recovery must not raise anew).
         """
         cache = self._conversations.get(conv_id)
         if cache is None:
             return 0
         invalidated = 0
-        for chunk in cache.chunks_in(ChunkLocation.CPU):
+        for chunk in cache.chunks_in(ChunkLocation.DISK, ChunkLocation.CPU):
+            if upto is not None and chunk.index > upto.index:
+                break
+            self._move(cache, chunk, ChunkLocation.DROPPED)
+            self._bump("dropped_tokens", chunk.num_tokens)
+            invalidated += chunk.num_tokens
+        cache.check_layout()
+        return invalidated
+
+    def invalidate_disk_prefix(
+        self, conv_id: int, upto: Optional[Chunk] = None
+    ) -> int:
+        """Recovery path for a failed or corrupt *disk* read: drop the
+        conversation's ``DISK`` chunks from the front through ``upto``
+        (all of them when ``None``).
+
+        Disk chunks sit immediately after the ``DROPPED`` prefix, so this
+        never touches CPU chunks and always leaves a legal layout — the
+        narrower sibling of :meth:`invalidate_cpu_prefix` used when the
+        CPU-resident portion of the context is still healthy.  Returns
+        tokens invalidated.
+        """
+        cache = self._conversations.get(conv_id)
+        if cache is None:
+            return 0
+        invalidated = 0
+        for chunk in cache.chunks_in(ChunkLocation.DISK):
             if upto is not None and chunk.index > upto.index:
                 break
             self._move(cache, chunk, ChunkLocation.DROPPED)
@@ -624,6 +716,8 @@ class TwoTierCacheManager:
         """
         for chunk in cache.chunks:
             if chunk.location is not ChunkLocation.DROPPED:
+                if chunk.location is ChunkLocation.DISK:
+                    self._bump("disk_dropped_tokens", chunk.num_tokens)
                 self._bump("dropped_tokens", chunk.num_tokens)
                 self._move(cache, chunk, ChunkLocation.DROPPED)
             if chunk is upto:
@@ -660,7 +754,13 @@ class TwoTierCacheManager:
     def drop_from_cpu(
         self, tokens_needed: int, now: float, allow_revert: bool = True
     ) -> int:
-        """Drop CPU-tier chunks under memory pressure (``CPU -> DROPPED``).
+        """Free CPU-tier space under memory pressure.
+
+        Each victim (ascending retention score) is *demoted* to the disk
+        tier when one is configured and the cross-tier placement policy
+        approves (``CPU -> DISK``), and dropped outright otherwise
+        (``CPU -> DROPPED``).  Either way its CPU tokens free up, so
+        progress accounting is identical to the two-tier behaviour.
 
         Returns tokens freed.  With ``allow_revert``, chunks still lazily
         resident on the GPU (``GPU_CPU``) may lose their CPU copy as a last
@@ -673,8 +773,7 @@ class TwoTierCacheManager:
             candidates = self._candidates(ChunkLocation.CPU, now)
             if candidates:
                 score, chunk, cache = candidates[0]
-                self._move(cache, chunk, ChunkLocation.DROPPED)
-                self._bump("dropped_tokens", chunk.num_tokens)
+                outcome = self._demote_or_drop(cache, chunk, score, now)
                 freed += chunk.num_tokens
                 cache.check_layout()
                 if self.tracer.enabled:
@@ -685,6 +784,7 @@ class TwoTierCacheManager:
                         conv_id=cache.conv_id,
                         chunk=chunk.index,
                         tokens=chunk.num_tokens,
+                        outcome=outcome,
                         score=score,
                     )
                 continue
@@ -705,6 +805,85 @@ class TwoTierCacheManager:
             self._move(cache, chunk, ChunkLocation.GPU)
             freed += chunk.num_tokens
             cache.check_layout()
+        return freed
+
+    def _demote_or_drop(
+        self, cache: ConversationCache, chunk: Chunk, score: float, now: float
+    ) -> str:
+        """Send one CPU frontier chunk down the hierarchy.
+
+        The cross-tier extension of the paper's retention value: the chunk
+        lands on disk iff (a) the tier exists, (b) the placement policy
+        says its score justifies NVMe traffic, and (c) room exists or can
+        be made by evicting *strictly lower-scored* disk chunks — a chunk
+        never displaces disk residents worth more than itself.  Otherwise
+        it is dropped for §4.3.4 recomputation.
+
+        Returns ``"demoted"`` or ``"dropped"``.
+        """
+        if self.disk_capacity_tokens > 0 and chunk.num_tokens <= self.disk_capacity_tokens:
+            target = (
+                self.placement(chunk, cache.last_active, now)
+                if self.placement is not None
+                else ChunkLocation.DISK
+            )
+            if target is ChunkLocation.DISK:
+                if self.disk_free_tokens < chunk.num_tokens:
+                    self.drop_from_disk(
+                        chunk.num_tokens - self.disk_free_tokens,
+                        now,
+                        max_score=score,
+                    )
+                if self.disk_free_tokens >= chunk.num_tokens:
+                    self._move(cache, chunk, ChunkLocation.DISK)
+                    self._bump("demoted_tokens", chunk.num_tokens)
+                    return "demoted"
+        # Figure 5: the dropped prefix only grows from the front, so any of
+        # the conversation's chunks still on disk *ahead* of this one must
+        # be discarded with it.
+        for victim in cache.chunks:
+            if victim.location is not ChunkLocation.DROPPED:
+                if victim.location is ChunkLocation.DISK:
+                    self._bump("disk_dropped_tokens", victim.num_tokens)
+                self._move(cache, victim, ChunkLocation.DROPPED)
+                self._bump("dropped_tokens", victim.num_tokens)
+            if victim is chunk:
+                break
+        return "dropped"
+
+    def drop_from_disk(
+        self, tokens_needed: int, now: float, max_score: Optional[float] = None
+    ) -> int:
+        """Evict disk-tier chunks (``DISK -> DROPPED``), cheapest first.
+
+        With ``max_score`` set (the displacement path of
+        :meth:`_demote_or_drop`), only chunks scoring *strictly below* it
+        are evicted — the incoming chunk may not displace disk residents
+        the policy values at least as much.  Returns tokens freed.
+        """
+        freed = 0
+        while freed < tokens_needed:
+            candidates = self._candidates(ChunkLocation.DISK, now)
+            if not candidates:
+                break
+            score, chunk, cache = candidates[0]
+            if max_score is not None and score >= max_score:
+                break
+            self._move(cache, chunk, ChunkLocation.DROPPED)
+            self._bump("disk_dropped_tokens", chunk.num_tokens)
+            self._bump("dropped_tokens", chunk.num_tokens)
+            freed += chunk.num_tokens
+            cache.check_layout()
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    "disk_drop",
+                    t=now,
+                    track="cache",
+                    conv_id=cache.conv_id,
+                    chunk=chunk.index,
+                    tokens=chunk.num_tokens,
+                    score=score,
+                )
         return freed
 
     # ------------------------------------------------------------------
@@ -779,3 +958,9 @@ class TwoTierCacheManager:
                 copied += chunk.num_tokens
         cache.check_layout()
         return copied, dropped
+
+
+#: Backward-compatible name from before the disk tier existed; with
+#: ``disk_capacity_tokens=0`` (the default) the manager behaves exactly
+#: as the two-tier original.
+TwoTierCacheManager = TieredCacheManager

@@ -1,9 +1,19 @@
-"""Numpy tensor storage for the two cache tiers.
+"""Numpy tensor storage for the cache tiers.
 
 :class:`KVStorage` is the "GPU memory": per-layer K and V arrays indexed by
 flat slot index (page id x page size + offset).  :class:`CpuChunkStore` is
-the "CPU memory": an associative store of evicted chunks keyed by
-``(conversation id, chunk index)``.
+the "CPU memory" and :class:`DiskChunkStore` the "NVMe tier": associative
+stores of evicted chunks keyed by ``(conversation id, chunk index)``, both
+built on the same :class:`_ChunkStoreBase` so the two tiers share one
+verified data path (per-chunk CRC32, coalesced batch insert/remove,
+fault-injection hooks) and differ only in their counter namespace and
+fault site.
+
+Demotion between tiers uses :meth:`_ChunkStoreBase.transfer_to`, which
+moves a chunk *with its insertion-time checksum* — the CRC computed when
+the chunk first left the GPU travels to disk unchanged, so corruption
+introduced at any hop is still caught at the final read (end-to-end
+integrity, not per-tier integrity).
 
 Only the functional layer allocates these; the performance simulation runs
 the identical bookkeeping code with ``storage=None``.
@@ -153,22 +163,34 @@ def _checksum(k: np.ndarray, v: np.ndarray) -> int:
     return zlib.crc32(v.tobytes(), zlib.crc32(k.tobytes()))
 
 
-class CpuChunkStore:
-    """Host-memory store of evicted KV chunks.
+class _ChunkStoreBase:
+    """Associative store of evicted KV chunks shared by the CPU and disk
+    tiers.
 
     Each entry holds the all-layer K/V tensors of one chunk, together with
-    a CRC32 checksum computed at insertion; every read re-verifies it, so
-    host-side corruption (real or injected through ``fault_plan``) is
-    detected before the data can reach GPU pages.  Capacity is expressed
-    in tokens; callers are responsible for making room (the two-tier
-    manager drops chunks by policy before inserting).
+    a CRC32 checksum computed when the chunk *entered the stored
+    hierarchy*; every read re-verifies it, so corruption (real or injected
+    through ``fault_plan``) is detected before the data can reach GPU
+    pages.  Capacity is expressed in tokens; callers are responsible for
+    making room (the tiered manager drops or demotes chunks by policy
+    before inserting).
 
     ``verify_on_read=False`` skips the per-read CRC re-check (checksums
     are still computed at insertion), trading integrity detection for
     read bandwidth — the benchmark harness uses it to price the check.
-    Chaos/fault testing keeps the default ``True``: the ``CPU_READ``
-    fault site lives inside the verification path.
+    Chaos/fault testing keeps the default ``True``: each tier's fault
+    site (``CPU_READ`` / ``DISK_READ``) lives inside the verification
+    path.
+
+    Subclasses set :attr:`_LABEL` (human-readable tier name used in error
+    messages), :attr:`_PREFIX` (tracer counter namespace) and
+    :attr:`_FAULT_SITE` (which :class:`FaultSite` the verification path
+    draws from).
     """
+
+    _LABEL = "chunk"
+    _PREFIX = "chunk_store"
+    _FAULT_SITE: Optional[FaultSite] = None
 
     def __init__(
         self,
@@ -204,20 +226,21 @@ class CpuChunkStore:
         """
         key = (conv_id, chunk_index)
         if key in self._entries:
-            raise KeyError(f"chunk {key} already in CPU store")
+            raise KeyError(f"chunk {key} already in {self._LABEL} store")
         tokens = k.shape[1]
         if self.used_tokens + tokens > self.capacity_tokens:
             raise MemoryError(
-                f"CPU store full: {self.used_tokens}+{tokens} > {self.capacity_tokens}"
+                f"{self._LABEL} store full: "
+                f"{self.used_tokens}+{tokens} > {self.capacity_tokens}"
             )
         self._entries[key] = (k.copy(), v.copy())
         self._tokens[key] = tokens
         self._checksums[key] = _checksum(k, v)
         self.used_tokens += tokens
         if self.tracer.enabled:
-            self.tracer.count("cpu_store.put_bytes", k.nbytes + v.nbytes)
-            self.tracer.count("cpu_store.put_chunks")
-            self.tracer.gauge("cpu_store.used_tokens", self.used_tokens)
+            self.tracer.count(f"{self._PREFIX}.put_bytes", k.nbytes + v.nbytes)
+            self.tracer.count(f"{self._PREFIX}.put_chunks")
+            self.tracer.gauge(f"{self._PREFIX}.used_tokens", self.used_tokens)
 
     def put_many(
         self,
@@ -228,7 +251,7 @@ class CpuChunkStore:
         ``entries`` holds ``(conv_id, chunk_index, k, v)`` tuples.  The
         insert is atomic: duplicates and capacity are checked for the
         whole batch up front, so either every chunk lands or none does.
-        Counter totals (``cpu_store.put_bytes`` / ``put_chunks`` /
+        Counter totals (``<prefix>.put_bytes`` / ``put_chunks`` /
         ``used_tokens``) match ``len(entries)`` individual :meth:`put`
         calls exactly — coalescing changes the number of transfers, not
         the accounting.
@@ -243,11 +266,11 @@ class CpuChunkStore:
             raise KeyError(f"duplicate chunks in put_many batch: {keys}")
         for key in keys:
             if key in self._entries:
-                raise KeyError(f"chunk {key} already in CPU store")
+                raise KeyError(f"chunk {key} already in {self._LABEL} store")
         total_tokens = sum(k.shape[1] for _, _, k, _ in entries)
         if self.used_tokens + total_tokens > self.capacity_tokens:
             raise MemoryError(
-                f"CPU store full: {self.used_tokens}+{total_tokens} > "
+                f"{self._LABEL} store full: {self.used_tokens}+{total_tokens} > "
                 f"{self.capacity_tokens}"
             )
         total_bytes = 0
@@ -258,9 +281,9 @@ class CpuChunkStore:
             self.used_tokens += k.shape[1]
             total_bytes += k.nbytes + v.nbytes
         if self.tracer.enabled and entries:
-            self.tracer.count("cpu_store.put_bytes", total_bytes)
-            self.tracer.count("cpu_store.put_chunks", len(entries))
-            self.tracer.gauge("cpu_store.used_tokens", self.used_tokens)
+            self.tracer.count(f"{self._PREFIX}.put_bytes", total_bytes)
+            self.tracer.count(f"{self._PREFIX}.put_chunks", len(entries))
+            self.tracer.gauge(f"{self._PREFIX}.used_tokens", self.used_tokens)
 
     def _verify(self, key: Tuple[int, int]) -> None:
         """Check a stored chunk against its insertion-time checksum.
@@ -272,13 +295,17 @@ class CpuChunkStore:
             ChunkCorruptionError: on checksum mismatch.
         """
         k, v = self._entries[key]
-        if self.fault_plan is not None and self.fault_plan.fires(FaultSite.CPU_READ):
+        if (
+            self.fault_plan is not None
+            and self._FAULT_SITE is not None
+            and self.fault_plan.fires(self._FAULT_SITE)
+        ):
             k.flat[0] += 1.0  # single bit-flip-equivalent perturbation
         if _checksum(k, v) != self._checksums[key]:
             if self.tracer.enabled:
-                self.tracer.count("cpu_store.corrupt_chunks")
+                self.tracer.count(f"{self._PREFIX}.corrupt_chunks")
                 self.tracer.instant(
-                    "cpu_store_corrupt", track="cache",
+                    f"{self._PREFIX}_corrupt", track="cache",
                     conv_id=key[0], chunk=key[1],
                 )
             raise ChunkCorruptionError(conv_id=key[0], chunk_index=key[1])
@@ -311,8 +338,10 @@ class CpuChunkStore:
         self._checksums.pop(key)
         self.used_tokens -= self._tokens.pop(key)
         if self.tracer.enabled:
-            self.tracer.count("cpu_store.read_bytes", data[0].nbytes + data[1].nbytes)
-            self.tracer.gauge("cpu_store.used_tokens", self.used_tokens)
+            self.tracer.count(
+                f"{self._PREFIX}.read_bytes", data[0].nbytes + data[1].nbytes
+            )
+            self.tracer.gauge(f"{self._PREFIX}.used_tokens", self.used_tokens)
         return data
 
     def pop_many(
@@ -322,7 +351,7 @@ class CpuChunkStore:
         transfer (the swap-in restore path).
 
         Every chunk is verified exactly as :meth:`pop` would — the same
-        per-chunk CRC re-check and ``CPU_READ`` fault-injection site —
+        per-chunk CRC re-check and tier fault-injection site —
         but a corrupt chunk is *reported* instead of raised (its entry
         stays in the store, exactly like a failed :meth:`pop`), so the
         caller can degrade just the affected prefix while the healthy
@@ -332,7 +361,7 @@ class CpuChunkStore:
             ``(popped, corrupt)``: ``popped`` is ``(chunk_index, (k, v))``
             for each healthy chunk, in request order; ``corrupt`` lists
             the chunk indices that failed verification.  Counter totals
-            (``cpu_store.read_bytes`` / ``corrupt_chunks`` /
+            (``<prefix>.read_bytes`` / ``corrupt_chunks`` /
             ``used_tokens``) match per-chunk :meth:`pop` calls exactly.
         """
         popped: List[Tuple[int, Tuple[np.ndarray, np.ndarray]]] = []
@@ -352,20 +381,71 @@ class CpuChunkStore:
             read_bytes += data[0].nbytes + data[1].nbytes
             popped.append((chunk_index, data))
         if self.tracer.enabled and popped:
-            self.tracer.count("cpu_store.read_bytes", read_bytes)
-            self.tracer.gauge("cpu_store.used_tokens", self.used_tokens)
+            self.tracer.count(f"{self._PREFIX}.read_bytes", read_bytes)
+            self.tracer.gauge(f"{self._PREFIX}.used_tokens", self.used_tokens)
         return popped, corrupt
 
     def drop(self, conv_id: int, chunk_index: int) -> None:
-        """Discard a chunk (CPU-tier eviction)."""
+        """Discard a chunk (tier eviction)."""
         key = (conv_id, chunk_index)
         del self._entries[key]
         self._checksums.pop(key)
         dropped = self._tokens.pop(key)
         self.used_tokens -= dropped
         if self.tracer.enabled:
-            self.tracer.count("cpu_store.dropped_tokens", dropped)
-            self.tracer.gauge("cpu_store.used_tokens", self.used_tokens)
+            self.tracer.count(f"{self._PREFIX}.dropped_tokens", dropped)
+            self.tracer.gauge(f"{self._PREFIX}.used_tokens", self.used_tokens)
+
+    def transfer_to(
+        self, dst: "_ChunkStoreBase", conv_id: int, chunk_index: int
+    ) -> int:
+        """Move one chunk — data *and its original checksum* — into ``dst``
+        (the CPU→disk demotion path).
+
+        The data is handed over without re-verification and the CRC is
+        carried rather than recomputed: a chunk corrupted while resident
+        in this tier is therefore still caught when it is eventually read
+        from ``dst`` (end-to-end integrity across demotion hops).  Arrays
+        move by reference; ownership passes to ``dst``.
+
+        Returns the number of bytes moved (for transfer accounting).
+
+        Raises:
+            KeyError: if ``dst`` already holds the chunk (nothing moves).
+            MemoryError: if ``dst`` cannot fit the chunk (nothing moves).
+        """
+        key = (conv_id, chunk_index)
+        if key in dst._entries:
+            raise KeyError(f"chunk {key} already in {dst._LABEL} store")
+        k, v = self._entries[key]
+        tokens = self._tokens[key]
+        if dst.used_tokens + tokens > dst.capacity_tokens:
+            raise MemoryError(
+                f"{dst._LABEL} store full: {dst.used_tokens}+{tokens} > "
+                f"{dst.capacity_tokens}"
+            )
+        checksum = self._checksums[key]
+        del self._entries[key]
+        self._checksums.pop(key)
+        self.used_tokens -= self._tokens.pop(key)
+        dst._entries[key] = (k, v)
+        dst._tokens[key] = tokens
+        dst._checksums[key] = checksum
+        dst.used_tokens += tokens
+        nbytes = k.nbytes + v.nbytes
+        if self.tracer.enabled:
+            self.tracer.count(f"{self._PREFIX}.demoted_tokens", tokens)
+            self.tracer.gauge(f"{self._PREFIX}.used_tokens", self.used_tokens)
+        if dst.tracer.enabled:
+            dst.tracer.count(f"{dst._PREFIX}.put_bytes", nbytes)
+            dst.tracer.count(f"{dst._PREFIX}.put_chunks")
+            dst.tracer.gauge(f"{dst._PREFIX}.used_tokens", dst.used_tokens)
+        return nbytes
+
+    def nbytes_of(self, conv_id: int, chunk_index: int) -> int:
+        """Stored byte size of one chunk (no read, no verification)."""
+        k, v = self._entries[(conv_id, chunk_index)]
+        return k.nbytes + v.nbytes
 
     def contains(self, conv_id: int, chunk_index: int) -> bool:
         return (conv_id, chunk_index) in self._entries
@@ -374,9 +454,41 @@ class CpuChunkStore:
         """Chunk indices stored for one conversation, ascending."""
         return sorted(ci for c, ci in self._entries if c == conv_id)
 
+    def checksum_of(self, conv_id: int, chunk_index: int) -> int:
+        """Stored insertion-time CRC of one chunk (test/audit hook)."""
+        return self._checksums[(conv_id, chunk_index)]
+
     @property
     def free_tokens(self) -> int:
         return self.capacity_tokens - self.used_tokens
 
     def __len__(self) -> int:
         return len(self._entries)
+
+
+class CpuChunkStore(_ChunkStoreBase):
+    """Host-memory store of evicted KV chunks (Tier 2).
+
+    The ``CPU_READ`` fault site lives inside its verification path;
+    counters are published under the ``cpu_store.*`` namespace.
+    """
+
+    _LABEL = "CPU"
+    _PREFIX = "cpu_store"
+    _FAULT_SITE = FaultSite.CPU_READ
+
+
+class DiskChunkStore(_ChunkStoreBase):
+    """Modeled-NVMe store of demoted KV chunks (Tier 3).
+
+    Functionally identical to :class:`CpuChunkStore` — the timing
+    difference lives in :class:`repro.gpu.nvme.NvmeEngine`, which the
+    discrete-event engine consults, and the *placement* difference lives
+    in the tiered manager's cross-tier retention policy.  The
+    ``DISK_READ`` fault site lives inside its verification path; counters
+    are published under the ``disk_store.*`` namespace.
+    """
+
+    _LABEL = "disk"
+    _PREFIX = "disk_store"
+    _FAULT_SITE = FaultSite.DISK_READ

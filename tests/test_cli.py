@@ -118,6 +118,7 @@ class TestSweep:
         assert "thr(req/s)" in out
 
 
+@pytest.mark.slow
 class TestBench:
     def test_quick_bench_writes_json_and_passes(self, capsys, tmp_path):
         import json
@@ -187,6 +188,7 @@ class TestTrace:
         assert (out_dir / "trace_simulate.chrome.json").exists()
         assert (out_dir / "trace_simulate.jsonl").exists()
 
+    @pytest.mark.slow
     def test_bench_trace_out_flag(self, capsys, tmp_path):
         import json
 
