@@ -22,6 +22,7 @@ def test_quick_suite_equivalent_and_schema_stable(tmp_path):
     families = {x.family for x in results}
     assert families == {
         "decode", "prefill", "mixed", "e2e", "storage", "swap", "disk", "idle",
+        "packing", "decode_sched",
     }
     assert all(x.equivalent for x in results), format_table(results)
     assert all(x.max_abs_diff <= TOLERANCE for x in results)
@@ -40,6 +41,12 @@ def test_quick_suite_equivalent_and_schema_stable(tmp_path):
     # third tier bit-identically to the recompute baseline.
     idle = [x for x in results if x.family == "idle"]
     assert idle and all(x.max_abs_diff == 0.0 for x in idle)
+    # The packing cache is bit-exact against the per-step rebuild, and
+    # the page-aware server A/B produces token-identical transcripts.
+    packing = [x for x in results if x.family == "packing"]
+    assert packing and all(x.max_abs_diff == 0.0 for x in packing)
+    sched = [x for x in results if x.family == "decode_sched"]
+    assert sched and all(x.max_abs_diff == 0.0 for x in sched)
 
     summary = summarize(results)
     assert summary["all_equivalent"] is True
@@ -51,6 +58,15 @@ def test_quick_suite_equivalent_and_schema_stable(tmp_path):
     assert payload["tolerance"] == TOLERANCE
     assert len(payload["results"]) == len(results)
     assert {x["name"] for x in payload["results"]} == {x.name for x in results}
+    assert len(payload["history"]) == 1
+    assert payload["history"][0]["summary"] == summary
+
+    # A second write to the same path appends to the run history rather
+    # than overwriting it.
+    write_json(results, str(out), quick=True, seed=0)
+    payload = json.loads(out.read_text())
+    assert len(payload["history"]) == 2
+    assert [e["summary"] for e in payload["history"]] == [summary, summary]
 
 
 def test_scenario_list_is_deterministic():

@@ -9,8 +9,11 @@ consumed by CI and tracked across PRs.
 
 from repro.bench.harness import (
     BenchResult,
+    DECODE_SCHED_MIN_SPEEDUP,
+    HISTORY_CAP,
     MIN_SPEEDUP,
     MIN_THRESHOLD_BATCH,
+    PACKING_MIN_SPEEDUP,
     TOLERANCE,
     check_thresholds,
     format_table,
@@ -20,8 +23,11 @@ from repro.bench.harness import (
 
 __all__ = [
     "BenchResult",
+    "DECODE_SCHED_MIN_SPEEDUP",
+    "HISTORY_CAP",
     "MIN_SPEEDUP",
     "MIN_THRESHOLD_BATCH",
+    "PACKING_MIN_SPEEDUP",
     "TOLERANCE",
     "check_thresholds",
     "format_table",

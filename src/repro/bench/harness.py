@@ -28,11 +28,24 @@ Scenario families:
   the two-tier reference recomputes the dropped context.  Equivalence is
   bit-identical outputs (the Pensieve transparency guarantee), and the
   speedup is the disk tier's reason to exist.
+- ``packing`` — the incremental decode packing cache:
+  ``packing/decode-loop`` runs a multi-step decode loop through
+  :func:`~repro.kernels.packed_cache.packed_decode_attention` (packed
+  table + gathered-KV staging extended in place each step) against the
+  batched kernel re-packing and re-gathering from scratch every
+  iteration; ``packing/pack-cost`` is the metadata microbenchmark —
+  per-iteration incremental-extend vs full-rebuild packing cost, no
+  attention at all;
+- ``decode_sched`` — the end-to-end A/B: a page-aware-scheduled
+  :class:`StatefulChatServer` with the packing cache on vs the FIFO
+  rebuild-every-step baseline, serving identical multi-turn batched
+  workloads (equivalence = token-identical outputs).
 
 The ``prefill``/``mixed`` families carry both the vectorized kernel and
 the fully-ragged one (``ragged_multi_token_attention``); ragged scenarios
-are named ``*/ragged*`` and, together with the ``swap`` family, are
-subject to the CI speedup floor (:func:`check_thresholds`).
+are named ``*/ragged*`` and, together with the ``swap``, ``packing`` and
+``decode_sched`` families, are subject to the CI speedup floor
+(:func:`check_thresholds`).
 
 Timings take the best of ``repeats`` runs (after one warmup) to suppress
 scheduler noise; all *structure* in the output — scenario list, shapes,
@@ -51,13 +64,17 @@ import numpy as np
 
 from repro.kernels import (
     AttentionRequest,
+    DecodeSlotSource,
+    PackedDecodeCache,
     batched_single_token_attention,
     multi_token_attention,
+    packed_decode_attention,
     ragged_multi_token_attention,
     single_token_attention,
     vectorized_multi_token_attention,
 )
 from repro.core.server import StatefulChatServer
+from repro.kvcache.pages import BlockTable, PagePool
 from repro.kvcache.storage import CpuChunkStore, DiskChunkStore, KVStorage
 from repro.model.config import tiny_llama_config, tiny_opt_config
 from repro.model.transformer import ForwardRequest, PagedTransformer
@@ -66,8 +83,9 @@ from repro.serving.metrics import StageTimings
 #: Maximum |reference - optimized| tolerated anywhere in a scenario.
 TOLERANCE = 1e-6
 
-#: Schema version of ``BENCH_kernels.json``.
-SCHEMA_VERSION = 3
+#: Schema version of ``BENCH_kernels.json``.  4 added the ``packing`` and
+#: ``decode_sched`` families and the appended ``history`` ledger.
+SCHEMA_VERSION = 4
 
 #: CI floor: thresholded scenarios (ragged kernel + coalesced swap, at
 #: ``batch >= MIN_THRESHOLD_BATCH``) must beat this speedup or
@@ -76,13 +94,30 @@ SCHEMA_VERSION = 3
 MIN_SPEEDUP = 1.5
 MIN_THRESHOLD_BATCH = 8
 
+#: Floor for the ``packing`` family.  Lower than the ragged/swap floor
+#: because both paths run the identical segment-masked attention math —
+#: the cache can only win back the packing + gather share of each step
+#: (measured 1.3-1.7x on the gated shapes; the floor leaves headroom for
+#: noisy CI runners).
+PACKING_MIN_SPEEDUP = 1.15
+
+#: Separate (lower) floor for the end-to-end ``decode_sched`` A/B: the
+#: full serving stack amortizes the kernel win over MLP/projection work,
+#: so the observable floor is modest but must stay real.
+DECODE_SCHED_MIN_SPEEDUP = 1.1
+
+#: How many historical run summaries ``BENCH_kernels.json`` retains.
+HISTORY_CAP = 200
+
 
 @dataclass
 class BenchResult:
     """One scenario's measurement: paired timings + equivalence verdict."""
 
     name: str
-    family: str  # decode | prefill | mixed | e2e | storage | swap | disk | idle
+    #: decode | prefill | mixed | e2e | storage | swap | disk | idle |
+    #: packing | decode_sched
+    family: str
     reference: str
     optimized: str
     batch: int
@@ -728,6 +763,310 @@ def bench_long_idle_user(
     )
 
 
+def bench_packed_decode(
+    name: str,
+    batch: int,
+    ctx: int,
+    steps: int,
+    num_heads: int,
+    kv_heads: int,
+    head_dim: int,
+    repeats: int,
+    seed: int,
+    page_size: int = 16,
+) -> BenchResult:
+    """Multi-step decode loop: incremental packing cache vs re-pack/re-gather.
+
+    Both paths drive real :class:`BlockTable`\\ s through ``steps`` decode
+    iterations, appending one token per conversation per step and writing
+    its K/V into the cache before attending.  The reference rebuilds the
+    padded slot table and re-gathers the whole batch's K/V from scratch
+    every iteration (:func:`batched_single_token_attention`, today's
+    baseline); the optimized path keeps a :class:`PackedDecodeCache` alive
+    across iterations, so each step extends table rows in place and
+    gathers only the one new KV column per row.  Equivalence is checked
+    per step over the full loop (the packed kernel runs the identical
+    segment-masked math), and the timed region covers the complete loop
+    including all packing/gather bookkeeping.
+    """
+    rng = np.random.default_rng(seed)
+    pages_per_conv = -(-(ctx + steps) // page_size)
+    num_pages = batch * pages_per_conv
+    num_slots = num_pages * page_size
+    k_cache = rng.standard_normal((num_slots, kv_heads, head_dim))
+    v_cache = rng.standard_normal((num_slots, kv_heads, head_dim))
+    queries = rng.standard_normal((steps, batch, num_heads, head_dim))
+
+    state: Dict[str, object] = {}
+
+    def setup() -> None:
+        pool = PagePool(num_pages, page_size)
+        tables = []
+        for _ in range(batch):
+            table = BlockTable(pool)
+            table.append_tokens(ctx)
+            tables.append(table)
+        state["tables"] = tables
+        state["cache"] = PackedDecodeCache()
+
+    def ref_run() -> List[np.ndarray]:
+        tables = state["tables"]
+        outs: List[np.ndarray] = []
+        for step in range(steps):
+            requests = []
+            for i, table in enumerate(tables):
+                table.append_tokens(1)
+                requests.append(
+                    AttentionRequest(
+                        query=queries[step, i : i + 1],
+                        slots=table.slots_array(0, table.length),
+                    )
+                )
+            outs.append(
+                np.concatenate(
+                    batched_single_token_attention(requests, k_cache, v_cache)
+                )
+            )
+        return outs
+
+    def opt_run() -> List[np.ndarray]:
+        tables = state["tables"]
+        cache = state["cache"]
+        outs: List[np.ndarray] = []
+        for step in range(steps):
+            for table in tables:
+                table.append_tokens(1)
+            packed = cache.pack(
+                [DecodeSlotSource(key=i, table=t) for i, t in enumerate(tables)]
+            )
+            outs.append(
+                packed_decode_attention(queries[step], packed, 0, k_cache, v_cache)
+            )
+        return outs
+
+    # Equivalence: one full loop per path on identically-seeded state
+    # (fresh pools allocate identical slot layouts), compared step by step.
+    setup()
+    ref_outs = ref_run()
+    setup()
+    opt_outs = opt_run()
+    max_abs_diff = _max_diff(ref_outs, opt_outs)
+
+    reference_s = _best_of_stateful(setup, ref_run, repeats)
+    optimized_s = _best_of_stateful(setup, opt_run, repeats)
+
+    # The steady state the cache exists for: the initial pack builds every
+    # row once, then every later step extends rows in place.
+    stats = state["cache"].stats
+    assert stats["rebuilt_rows"] == batch, (
+        f"{name}: packing cache rebuilt rows mid-loop ({stats})"
+    )
+    assert stats["extended_rows"] == (steps - 1) * batch, (
+        f"{name}: packing cache fell out of the extend path ({stats})"
+    )
+
+    return _result(
+        name,
+        "packing",
+        "rebuild+regather per step [batched_single_token_attention]",
+        "packed_decode_attention [incremental cache]",
+        batch=batch,
+        tokens_per_call=batch * steps,
+        reference_s=reference_s,
+        optimized_s=optimized_s,
+        max_abs_diff=max_abs_diff,
+    )
+
+
+def bench_pack_cost(
+    name: str,
+    batch: int,
+    ctx: int,
+    steps: int,
+    repeats: int,
+    seed: int,
+    page_size: int = 16,
+) -> BenchResult:
+    """Metadata microbenchmark: pack-rebuild vs incremental-extend.
+
+    No attention, no KV gather — this isolates the per-iteration cost of
+    producing the padded ``[batch, max_context]`` slot table.  The
+    reference calls :meth:`PackedDecodeCache.pack_from_scratch` (the
+    oracle full rebuild) every step; the optimized path's
+    :meth:`PackedDecodeCache.pack` extends each row by its one new slot.
+    Equivalence is exact array equality of the final table and lengths
+    (``max_abs_diff`` 0.0/1.0) — the incremental table must be
+    indistinguishable from the rebuilt one, padding included.
+    """
+    del seed  # slot layout is deterministic; no randomness needed
+    pages_per_conv = -(-(ctx + steps) // page_size)
+    num_pages = batch * pages_per_conv
+
+    state: Dict[str, object] = {}
+
+    def setup() -> None:
+        pool = PagePool(num_pages, page_size)
+        tables = []
+        for _ in range(batch):
+            table = BlockTable(pool)
+            table.append_tokens(ctx)
+            tables.append(table)
+        state["tables"] = tables
+        state["cache"] = PackedDecodeCache()
+
+    def ref_run() -> tuple:
+        tables = state["tables"]
+        for _ in range(steps):
+            for table in tables:
+                table.append_tokens(1)
+            sources = [
+                DecodeSlotSource(key=i, table=t) for i, t in enumerate(tables)
+            ]
+            table_arr, lengths = PackedDecodeCache.pack_from_scratch(sources)
+        return table_arr, lengths
+
+    def opt_run() -> tuple:
+        tables = state["tables"]
+        cache = state["cache"]
+        for _ in range(steps):
+            for table in tables:
+                table.append_tokens(1)
+            packed = cache.pack(
+                [DecodeSlotSource(key=i, table=t) for i, t in enumerate(tables)]
+            )
+        return np.asarray(packed.table), np.asarray(packed.lengths)
+
+    setup()
+    ref_table, ref_lengths = ref_run()
+    setup()
+    opt_table, opt_lengths = opt_run()
+    exact = np.array_equal(ref_table, opt_table) and np.array_equal(
+        ref_lengths, opt_lengths
+    )
+
+    reference_s = _best_of_stateful(setup, ref_run, repeats)
+    optimized_s = _best_of_stateful(setup, opt_run, repeats)
+
+    return _result(
+        name,
+        "packing",
+        "pack_from_scratch per step",
+        "incremental extend [PackedDecodeCache.pack]",
+        batch=batch,
+        tokens_per_call=batch * steps,
+        reference_s=reference_s,
+        optimized_s=optimized_s,
+        max_abs_diff=0.0 if exact else 1.0,
+    )
+
+
+def bench_decode_sched(
+    name: str,
+    num_convs: int,
+    turns: int,
+    prompt_len: int,
+    new_tokens: int,
+    repeats: int,
+    seed: int,
+    opt_packing_cache: bool = True,
+    opt_decode_sched: str = "page-aware",
+) -> BenchResult:
+    """End-to-end A/B: page-aware scheduling + packing cache vs FIFO rebuild.
+
+    Two :class:`StatefulChatServer` instances serve identical multi-turn
+    ``chat_batch`` workloads whose arrival order is shuffled differently
+    every round — the reference (``decode_sched="fifo"``,
+    ``packing_cache=False``) processes prompts in arrival order and packs
+    every decode step from scratch; the optimized server
+    (``decode_sched="page-aware"``, ``packing_cache=True``) reorders the
+    batch onto its existing cache rows and GPU-resident conversations, so
+    steady-state decode steps extend the packed table in place.
+    Greedy-sampled outputs are order-independent per conversation, so
+    equivalence is token-identical transcripts (0.0/1.0).
+    """
+    config = tiny_opt_config()
+    caps = dict(
+        gpu_capacity_tokens=1 << 14,
+        cpu_capacity_tokens=1 << 14,
+        chunk_size=16,
+        page_size=8,
+        seed=0,
+    )
+    order_rng = np.random.default_rng(seed)
+    orders = [order_rng.permutation(num_convs) for _ in range(turns)]
+
+    def rounds(server: StatefulChatServer) -> Dict[int, List[List[int]]]:
+        transcripts: Dict[int, List[List[int]]] = {c: [] for c in range(num_convs)}
+        for turn, order in enumerate(orders):
+            prompts = [
+                (
+                    int(conv),
+                    [
+                        (int(conv) * 13 + turn * 3 + i) % config.vocab_size
+                        for i in range(prompt_len)
+                    ],
+                )
+                for conv in order
+            ]
+            replies = server.chat_batch(prompts, max_new_tokens=new_tokens)
+            for conv, reply in replies.items():
+                transcripts[conv].append(reply)
+        return transcripts
+
+    state: Dict[str, object] = {}
+    outputs: Dict[str, Dict[int, List[List[int]]]] = {}
+
+    def ref_setup() -> None:
+        state["ref"] = StatefulChatServer(
+            config, packing_cache=False, decode_sched="fifo", **caps
+        )
+
+    def ref_run() -> None:
+        outputs["ref"] = rounds(state["ref"])
+
+    def opt_setup() -> None:
+        state["opt"] = StatefulChatServer(
+            config,
+            packing_cache=opt_packing_cache,
+            decode_sched=opt_decode_sched,
+            **caps,
+        )
+
+    def opt_run() -> None:
+        outputs["opt"] = rounds(state["opt"])
+
+    reference_s = _best_of_stateful(ref_setup, ref_run, repeats)
+    optimized_s = _best_of_stateful(opt_setup, opt_run, repeats)
+
+    # The A/B is only meaningful if the optimized server's cache actually
+    # ran in the incremental regime (unless the cache was toggled off for
+    # an ablation run).
+    if opt_packing_cache:
+        opt_stats = state["opt"].model.decode_cache.stats
+        assert opt_stats["extended_rows"] > 0, (
+            f"{name}: packing cache never extended a row ({opt_stats})"
+        )
+
+    opt_label = (
+        f"{opt_decode_sched} order, "
+        f"{'incremental pack' if opt_packing_cache else 'per-step rebuild'} "
+        f"[packing_cache={'on' if opt_packing_cache else 'off'}]"
+    )
+
+    tokens = num_convs * turns * (prompt_len + new_tokens)
+    return _result(
+        name,
+        "decode_sched",
+        "fifo order, per-step rebuild [packing_cache=off]",
+        opt_label,
+        batch=num_convs,
+        tokens_per_call=tokens,
+        reference_s=reference_s,
+        optimized_s=optimized_s,
+        max_abs_diff=0.0 if outputs["ref"] == outputs["opt"] else 1.0,
+    )
+
+
 # ----------------------------------------------------------------------
 # Suites
 # ----------------------------------------------------------------------
@@ -738,6 +1077,8 @@ def run_all(
     seed: int = 0,
     repeats: Optional[int] = None,
     tracer=None,
+    packing_cache: bool = True,
+    decode_sched: str = "page-aware",
 ) -> List[BenchResult]:
     """Run the benchmark suite and return results in deterministic order.
 
@@ -746,6 +1087,12 @@ def run_all(
     stable across PRs.  A :class:`repro.obs.Tracer` records one wall-clock
     span per scenario (the bench is a real-time workload, so its trace
     time axis is wall seconds).
+
+    ``packing_cache``/``decode_sched`` mirror the CLI flags: they
+    configure the *optimized* server of the ``decode_sched`` A/B, letting
+    experiments toggle each half of the optimization independently (the
+    kernel-level ``packing`` scenarios always measure the cache itself and
+    are unaffected).
     """
     r = repeats if repeats is not None else (5 if quick else 9)
     heads, head_dim = 8, 64
@@ -940,6 +1287,54 @@ def run_all(
             seed=seed,
         )
     )
+
+    # --- packing: incremental decode packing cache ----------------------
+    # Contexts are sized so the reference's per-step re-pack/re-gather is
+    # a meaningful share of the step (the attention math itself is common
+    # to both paths and bounds the achievable speedup).
+    pack_steps = 32
+    pack_cfgs = [
+        ("packing/decode-loop/b8-c256-d8", 8, 256, 2, 8),
+        ("packing/decode-loop/b16-c128-d8", 16, 128, 2, 8),
+    ]
+    if not quick:
+        pack_cfgs.append(("packing/decode-loop/b8-c256-d64", 8, 256, 2, 64))
+    for pack_name, batch, ctx, kv_heads, dim in pack_cfgs:
+        results.append(
+            run(
+                bench_packed_decode,
+                pack_name, batch, ctx, pack_steps, heads, kv_heads, dim,
+                r, seed,
+            )
+        )
+    results.append(
+        run(
+            bench_pack_cost,
+            "packing/pack-cost/b16-c512-s16",
+            batch=16,
+            ctx=512,
+            steps=16,
+            repeats=r,
+            seed=seed,
+        )
+    )
+
+    # --- decode_sched: page-aware server A/B ----------------------------
+    sched_turns = 2 if quick else 3
+    results.append(
+        run(
+            bench_decode_sched,
+            f"decode_sched/server/b8-t{sched_turns}",
+            num_convs=8,
+            turns=sched_turns,
+            prompt_len=11,
+            new_tokens=24,
+            repeats=max(2, r // 3),
+            seed=seed,
+            opt_packing_cache=packing_cache,
+            opt_decode_sched=decode_sched,
+        )
+    )
     return results
 
 
@@ -951,22 +1346,33 @@ def check_thresholds(
     """CI speedup floor over the scenarios this PR is accountable for.
 
     The ragged-kernel scenarios and the coalesced-swap family at
-    ``batch >= min_batch`` must each beat ``min_speedup``; anything
-    below is a perf regression.  Returns human-readable failure lines
-    (empty list = pass).  Other families (decode/e2e/storage and the
+    ``batch >= min_batch`` must each beat ``min_speedup``; the
+    ``packing`` family must beat :data:`PACKING_MIN_SPEEDUP` and the
+    end-to-end ``decode_sched`` A/B must beat
+    :data:`DECODE_SCHED_MIN_SPEEDUP` (both paths share the attention /
+    MLP math, so those floors are lower but still real).  Anything below
+    is a perf regression.  Returns human-readable failure lines (empty
+    list = pass).  Other families (decode/e2e/storage and the
     vectorized-kernel rows) are tracked but not gated here.
     """
     failures = []
     for x in results:
-        gated = (
+        if x.family == "decode_sched":
+            floor = DECODE_SCHED_MIN_SPEEDUP
+        elif x.family == "packing":
+            floor = PACKING_MIN_SPEEDUP
+        elif (
             x.optimized == "ragged_multi_token_attention" or x.family == "swap"
-        )
-        if not gated or x.batch < min_batch:
+        ):
+            floor = min_speedup
+        else:
             continue
-        if x.speedup < min_speedup:
+        if x.batch < min_batch:
+            continue
+        if x.speedup < floor:
             failures.append(
                 f"{x.name}: speedup {x.speedup:.2f}x below the "
-                f"{min_speedup:.2f}x floor (batch {x.batch})"
+                f"{floor:.2f}x floor (batch {x.batch})"
             )
     return failures
 
@@ -985,9 +1391,29 @@ def summarize(results: Sequence[BenchResult]) -> Dict[str, object]:
         "swap_best_speedup": round(best("swap"), 2),
         "disk_best_speedup": round(best("disk"), 2),
         "idle_restore_speedup": round(best("idle"), 2),
+        "packing_best_speedup": round(best("packing"), 2),
+        "decode_sched_speedup": round(best("decode_sched"), 2),
         "all_equivalent": all(x.equivalent for x in results),
         "thresholds_ok": not check_thresholds(results),
     }
+
+
+def _load_history(path: str) -> List[Dict[str, object]]:
+    """Prior run summaries from an existing ``BENCH_kernels.json``.
+
+    Any unreadable/legacy file (missing, corrupt, pre-history schema)
+    yields an empty ledger rather than an error — the bench must never
+    fail because of what a previous run left behind.
+    """
+    try:
+        with open(path) as fh:
+            previous = json.load(fh)
+    except (OSError, ValueError):
+        return []
+    history = previous.get("history") if isinstance(previous, dict) else None
+    if not isinstance(history, list):
+        return []
+    return [entry for entry in history if isinstance(entry, dict)]
 
 
 def write_json(
@@ -995,8 +1421,28 @@ def write_json(
     path: str,
     quick: bool,
     seed: int,
+    timestamp: Optional[str] = None,
 ) -> None:
-    """Write ``BENCH_kernels.json`` (schema-stable, sorted keys)."""
+    """Write ``BENCH_kernels.json`` (schema-stable, sorted keys).
+
+    The top-level payload is the *latest* run's full results; the
+    ``history`` list is an append-only ledger of per-run summaries (UTC
+    timestamp + headline speedups), carried forward from any existing
+    file at ``path`` and capped at :data:`HISTORY_CAP` entries, so
+    speedup trajectories survive across runs instead of being
+    overwritten.
+    """
+    if timestamp is None:
+        timestamp = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+    history = _load_history(path)
+    history.append(
+        {
+            "timestamp": timestamp,
+            "quick": quick,
+            "seed": seed,
+            "summary": summarize(results),
+        }
+    )
     payload = {
         "schema": SCHEMA_VERSION,
         "quick": quick,
@@ -1005,10 +1451,13 @@ def write_json(
         "thresholds": {
             "min_speedup": MIN_SPEEDUP,
             "min_batch": MIN_THRESHOLD_BATCH,
+            "packing_min_speedup": PACKING_MIN_SPEEDUP,
+            "decode_sched_min_speedup": DECODE_SCHED_MIN_SPEEDUP,
             "failures": check_thresholds(results),
         },
         "summary": summarize(results),
         "results": [asdict(x) for x in results],
+        "history": history[-HISTORY_CAP:],
     }
     with open(path, "w") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)
@@ -1018,13 +1467,13 @@ def write_json(
 def format_table(results: Sequence[BenchResult]) -> str:
     """Human-readable report for the CLI."""
     header = (
-        f"{'scenario':<24} {'batch':>5} {'ref ms':>9} {'fast ms':>9} "
+        f"{'scenario':<32} {'batch':>5} {'ref ms':>9} {'fast ms':>9} "
         f"{'speedup':>8} {'tok/s (fast)':>13} {'max|diff|':>10}  ok"
     )
     lines = [header, "-" * len(header)]
     for x in results:
         lines.append(
-            f"{x.name:<24} {x.batch:>5} {x.reference_s * 1e3:>9.3f} "
+            f"{x.name:<32} {x.batch:>5} {x.reference_s * 1e3:>9.3f} "
             f"{x.optimized_s * 1e3:>9.3f} {x.speedup:>7.2f}x "
             f"{x.optimized_tokens_per_s:>13.0f} {x.max_abs_diff:>10.2e}  "
             f"{'yes' if x.equivalent else 'NO'}"
@@ -1039,7 +1488,9 @@ def format_table(results: Sequence[BenchResult]) -> str:
         f"e2e {summary['e2e_best_speedup']}x, "
         f"swap {summary['swap_best_speedup']}x, "
         f"disk {summary['disk_best_speedup']}x, "
-        f"idle {summary['idle_restore_speedup']}x; "
+        f"idle {summary['idle_restore_speedup']}x, "
+        f"packing {summary['packing_best_speedup']}x, "
+        f"decode_sched {summary['decode_sched_speedup']}x; "
         f"equivalence {'OK' if summary['all_equivalent'] else 'FAILED'} "
         f"(tolerance {TOLERANCE})"
     )

@@ -63,7 +63,8 @@ def _fault_plan(args: argparse.Namespace):
 
 
 def _engine_factory(system: str, config: ModelConfig, fault_plan=None,
-                    disk_tokens: int = 0):
+                    disk_tokens: int = 0, decode_sched: str = "fifo",
+                    packing_cache: bool = True):
     from repro.core.engine import PensieveEngine
     from repro.gpu.device import A100_80GB
     from repro.serving.stateless import make_tensorrt_llm, make_vllm
@@ -78,6 +79,10 @@ def _engine_factory(system: str, config: ModelConfig, fault_plan=None,
         raise SystemExit(
             "--disk-tokens requires a stateful system (pensieve, pensieve-gpu)"
         )
+    if decode_sched != "fifo" and system not in stateful:
+        raise SystemExit(
+            "--decode-sched requires a stateful system (pensieve, pensieve-gpu)"
+        )
     if system == "vllm":
         return lambda loop: make_vllm(loop, config, A100_80GB)
     if system in ("trt", "tensorrt", "tensorrt-llm"):
@@ -85,12 +90,14 @@ def _engine_factory(system: str, config: ModelConfig, fault_plan=None,
     if system == "pensieve":
         return lambda loop: PensieveEngine(
             loop, config, A100_80GB, fault_plan=fault_plan,
-            disk_cache_tokens=disk_tokens,
+            disk_cache_tokens=disk_tokens, decode_sched=decode_sched,
+            packing_cache=packing_cache,
         )
     if system in ("pensieve-gpu", "pensieve-gpu-cache"):
         return lambda loop: PensieveEngine(
             loop, config, A100_80GB, cpu_cache_tokens=0,
             fault_plan=fault_plan, disk_cache_tokens=disk_tokens,
+            decode_sched=decode_sched, packing_cache=packing_cache,
         )
     raise SystemExit(
         f"unknown system {system!r}; choose from vllm, tensorrt-llm, "
@@ -126,6 +133,8 @@ def cmd_chat(args: argparse.Namespace) -> int:
         cpu_capacity_tokens=args.cpu_tokens,
         disk_capacity_tokens=args.disk_tokens,
         seed=args.seed,
+        decode_sched=args.decode_sched,
+        packing_cache=args.packing_cache == "on",
     )
     if args.system_prompt:
         server.set_system_prompt(args.system_prompt)
@@ -171,7 +180,9 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     tracer = _make_tracer(args)
     engine, stats = run_serving_once(
         _engine_factory(args.system, config, fault_plan,
-                        disk_tokens=args.disk_tokens),
+                        disk_tokens=args.disk_tokens,
+                        decode_sched=args.decode_sched,
+                        packing_cache=args.packing_cache == "on"),
         conversations,
         until=args.duration,
         warmup=args.duration * 0.3,
@@ -200,7 +211,9 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     config = _model(args.model)
     dataset = ULTRACHAT if args.dataset == "ultrachat" else SHAREGPT
     points = run_rate_sweep(
-        _engine_factory(args.system, config, disk_tokens=args.disk_tokens),
+        _engine_factory(args.system, config, disk_tokens=args.disk_tokens,
+                        decode_sched=args.decode_sched,
+                        packing_cache=args.packing_cache == "on"),
         dataset,
         rates=args.rates,
         duration=args.duration,
@@ -232,7 +245,9 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
     tracer = _make_tracer(args)
     results = run_all(
-        quick=args.quick, seed=args.seed, repeats=args.repeats, tracer=tracer
+        quick=args.quick, seed=args.seed, repeats=args.repeats, tracer=tracer,
+        packing_cache=args.packing_cache == "on",
+        decode_sched=args.decode_sched,
     )
     print(format_table(results))
     if args.output:
@@ -312,6 +327,26 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_sched_flags(parser: argparse.ArgumentParser, default_sched: str) -> None:
+    """The decode-scheduling / packing-cache knob pair.
+
+    ``--decode-sched fifo`` is the paper-faithful arrival-order policy;
+    ``page-aware`` orders decode candidates by GPU page residency and
+    packing-cache row occupancy.  ``--packing-cache`` toggles the
+    incremental slot-table packing cache; outputs are identical either
+    way (the knobs only move work, never change results).
+    """
+    parser.add_argument("--decode-sched", choices=("fifo", "page-aware"),
+                        default=default_sched,
+                        help="decode scheduling policy: arrival order (fifo) "
+                             "or GPU-page-residency order (page-aware); "
+                             f"default {default_sched}")
+    parser.add_argument("--packing-cache", choices=("on", "off"),
+                        default="on",
+                        help="incremental decode slot-table packing cache "
+                             "(default on)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -329,6 +364,7 @@ def build_parser() -> argparse.ArgumentParser:
     chat.add_argument("--max-tokens", type=int, default=12)
     chat.add_argument("--system-prompt", default="")
     chat.add_argument("--seed", type=int, default=0)
+    _add_sched_flags(chat, default_sched="page-aware")
     chat.set_defaults(func=cmd_chat)
 
     simulate = sub.add_parser("simulate", help="one serving-simulation run")
@@ -352,6 +388,7 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--trace-out", default=None, metavar="DIR",
                           help="record full telemetry and write the trace "
                                "artifacts (Chrome JSON, JSONL, text) here")
+    _add_sched_flags(simulate, default_sched="fifo")
     simulate.set_defaults(func=cmd_simulate)
 
     sweep = sub.add_parser("sweep", help="latency-throughput curve")
@@ -367,6 +404,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--disk-tokens", type=int, default=0,
                        help="enable the NVMe-modeled disk tier with this "
                             "many KV-tokens of capacity (stateful systems)")
+    _add_sched_flags(sweep, default_sched="fifo")
     sweep.set_defaults(func=cmd_sweep)
 
     figures = sub.add_parser("figures", help="fast analytical figures")
@@ -384,11 +422,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="override per-scenario repeat count")
     bench.add_argument("--enforce-thresholds", action="store_true",
                        help="exit non-zero if any gated scenario (ragged "
-                            "kernels, coalesced swap; batch >= 8) falls "
-                            "below the 1.5x speedup floor")
+                            "kernels, coalesced swap, packing cache, "
+                            "page-aware A/B; batch >= 8) falls below its "
+                            "per-family speedup floor")
     bench.add_argument("--trace-out", default=None, metavar="DIR",
                        help="record per-scenario wall-clock spans and write "
                             "the trace artifacts here")
+    _add_sched_flags(bench, default_sched="page-aware")
     bench.set_defaults(func=cmd_bench)
 
     trace = sub.add_parser(

@@ -45,6 +45,7 @@ from repro.kvcache.manager import (
 )
 from repro.kvcache.pages import BlockTable, PagePool
 from repro.kvcache.storage import CpuChunkStore, DiskChunkStore, KVStorage
+from repro.kernels.packed_cache import DecodeSlotSource
 from repro.model.config import ModelConfig, tiny_opt_config
 from repro.model.sampling import GREEDY, SamplingParams, sample_token
 from repro.model.transformer import ForwardRequest, PagedTransformer
@@ -86,7 +87,19 @@ class StatefulChatServer:
             (default on; the benchmark harness turns it off to price it).
         use_fast_paths: dispatch forward passes through the vectorized
             kernel layer (default on; off = per-layer tiled baseline).
+        packing_cache: keep the transformer's incremental decode packing
+            cache (packed slot table + gathered-KV staging reused across
+            decode iterations).  Numerically transparent; off = the
+            rebuild-every-step batched-kernel baseline.
+        decode_sched: ``"page-aware"`` (default) orders ``chat_batch``
+            conversations so packing-cache occupants keep their rows and
+            swapped-out newcomers sort by GPU page residency;
+            ``"fifo"`` preserves the caller's order.  With greedy
+            sampling both produce identical per-conversation outputs.
     """
+
+    #: Legal ``decode_sched`` policies.
+    DECODE_SCHEDS = ("fifo", "page-aware")
 
     def __init__(
         self,
@@ -105,8 +118,16 @@ class StatefulChatServer:
         retry_policy: Optional[RetryPolicy] = None,
         verify_on_read: bool = True,
         use_fast_paths: bool = True,
+        packing_cache: bool = True,
+        decode_sched: str = "page-aware",
         tracer: Optional[NullTracer] = None,
     ) -> None:
+        if decode_sched not in self.DECODE_SCHEDS:
+            raise ValueError(
+                f"decode_sched must be one of {self.DECODE_SCHEDS}, "
+                f"got {decode_sched!r}"
+            )
+        self.decode_sched = decode_sched
         if chunk_size % page_size != 0:
             raise ValueError(
                 f"chunk_size ({chunk_size}) must be a multiple of "
@@ -141,7 +162,11 @@ class StatefulChatServer:
             verify_on_read=verify_on_read,
         )
         self.model = PagedTransformer(
-            self.config, self.storage, seed=seed, use_fast_paths=use_fast_paths
+            self.config,
+            self.storage,
+            seed=seed,
+            use_fast_paths=use_fast_paths,
+            packing_cache=packing_cache,
         )
         self.tokenizer = tokenizer or SimpleTokenizer(self.config.vocab_size)
         self.manager = TieredCacheManager(
@@ -390,6 +415,31 @@ class StatefulChatServer:
             [self._system_slots_arr, table.slots_array(0, table.length)]
         )
 
+    def _decode_request(
+        self, conv_id: int, table: BlockTable, last_token: int
+    ) -> ForwardRequest:
+        """One generation step's request.  With the packing cache active
+        the context is passed *by reference* (a slot view keyed on the
+        conversation), so the transformer's incremental decode path packs
+        only the slots that changed since the previous step instead of
+        re-materialising the whole context array."""
+        input_ids = np.asarray([last_token], dtype=np.int64)
+        shared = len(self._system_slots)
+        if self.model.decode_cache is not None:
+            return ForwardRequest(
+                input_ids=input_ids,
+                context_slots=None,
+                shared_prefix=shared,
+                slot_view=DecodeSlotSource(
+                    key=conv_id, table=table, prefix=self._system_slots_arr
+                ),
+            )
+        return ForwardRequest(
+            input_ids=input_ids,
+            context_slots=self._full_context(table),
+            shared_prefix=shared,
+        )
+
     # ------------------------------------------------------------------
     # Fault handling
     # ------------------------------------------------------------------
@@ -417,6 +467,9 @@ class StatefulChatServer:
         table = self._tables.pop(conv_id, None)
         if table is not None:
             table.release()
+        if self.model.decode_cache is not None:
+            # A recycled conversation id must never alias the dead row.
+            self.model.decode_cache.drop(conv_id)
         # ``forget`` bypasses the observer, so mirror the cleanup here.
         for chunk_index in self.cpu_store.chunks_of(conv_id):
             self.cpu_store.drop(conv_id, chunk_index)
@@ -516,11 +569,7 @@ class StatefulChatServer:
             generated = [next_token]
             for _ in range(max_new_tokens - 1):
                 self._grow(conv_id, table, now)
-                step = ForwardRequest(
-                    input_ids=np.asarray([generated[-1]], dtype=np.int64),
-                    context_slots=self._full_context(table),
-                    shared_prefix=len(self._system_slots),
-                )
+                step = self._decode_request(conv_id, table, generated[-1])
                 step_logits = self.model.next_token_logits([step])[0]
                 generated.append(
                     sample_token(step_logits, sampling, self._sampling_rng)
@@ -528,11 +577,7 @@ class StatefulChatServer:
 
             # Account the final token's KV as part of the cached context.
             self._grow(conv_id, table, now)
-            step = ForwardRequest(
-                input_ids=np.asarray([generated[-1]], dtype=np.int64),
-                context_slots=self._full_context(table),
-                shared_prefix=len(self._system_slots),
-            )
+            step = self._decode_request(conv_id, table, generated[-1])
             self.model.forward([step])
             if tracer.enabled:
                 tracer.end(decode_span, t=self._clock, tokens=len(generated))
@@ -741,13 +786,21 @@ class StatefulChatServer:
         the outputs are identical to serving the turns sequentially —
         batching is purely a throughput optimisation.
 
+        Under the default ``page-aware`` decode schedule the batch is
+        reordered before serving: conversations already occupying packing
+        -cache rows keep their row order (so the cache extends in place
+        instead of rebuilding), and the rest sort by GPU page residency —
+        fully-resident conversations first, deep swap-ins last.  With
+        greedy sampling the reorder is output-invariant per conversation.
+
         Args:
             prompts: ``(conv_id, prompt_ids)`` pairs; conversation ids
                 must be distinct within one batch.
             max_new_tokens: tokens to generate per conversation.
             sampling: decoding strategy (stochastic strategies consume the
-                sampling stream in batch order, so they match sequential
-                serving only in distribution, not token-for-token).
+                sampling stream in batch — i.e. scheduled — order, so
+                they match sequential serving only in distribution, not
+                token-for-token).
 
         Returns:
             Mapping of conversation id to its generated token ids.
@@ -761,6 +814,8 @@ class StatefulChatServer:
             raise ValueError("duplicate conversation ids in one batch")
         if self.SYSTEM_CONV_ID in conv_ids:
             raise ValueError(f"conversation id {self.SYSTEM_CONV_ID} is reserved")
+        if self.decode_sched == "page-aware" and len(prompts) > 1:
+            prompts = self._page_aware_order(prompts)
         if self.tracer.enabled:
             self.tracer.instant(
                 "batch_turn", t=now, track="server", batch_size=len(prompts)
@@ -818,13 +873,7 @@ class StatefulChatServer:
                     continue
                 survivors.append(item)
                 steps.append(
-                    ForwardRequest(
-                        input_ids=np.asarray(
-                            [generated[conv_id][-1]], dtype=np.int64
-                        ),
-                        context_slots=self._full_context(table),
-                        shared_prefix=shared,
-                    )
+                    self._decode_request(conv_id, table, generated[conv_id][-1])
                 )
             prepared = survivors
             if not prepared:
@@ -844,6 +893,37 @@ class StatefulChatServer:
             history.extend(generated[conv_id])
             self.manager.close(conv_id, now)
         return generated
+
+    def _gpu_resident_fraction(self, conv_id: int) -> float:
+        """Fraction of a conversation's cached tokens still holding GPU
+        pages (GPU + GPU_CPU in the Figure 5 layout)."""
+        cache = self.manager.conversation(conv_id)
+        if cache is None or cache.total_tokens == 0:
+            return 0.0
+        seg = cache.segments()
+        resident = seg.get(ChunkLocation.GPU, 0) + seg.get(
+            ChunkLocation.GPU_CPU, 0
+        )
+        return resident / cache.total_tokens
+
+    def _page_aware_order(
+        self, prompts: Sequence[Tuple[int, Sequence[int]]]
+    ) -> List[Tuple[int, Sequence[int]]]:
+        """Schedule a batch page-aware: packing-cache occupants first, in
+        their cached row order (keeping the packed table's extend fast
+        path alive across turns), then the rest by descending GPU page
+        residency so deep swap-ins land at the batch tail.  Ties keep the
+        caller's order (stable)."""
+        cache = self.model.decode_cache
+
+        def sort_key(item: Tuple[int, Tuple[int, Sequence[int]]]):
+            index, (conv_id, _) = item
+            row = cache.row_index(conv_id) if cache is not None else None
+            if row is not None:
+                return (0, row, index)
+            return (1, -self._gpu_resident_fraction(conv_id), index)
+
+        return [pair for _, pair in sorted(enumerate(prompts), key=sort_key)]
 
     def chat_text(self, conv_id: int, user_text: str, max_new_tokens: int = 16) -> str:
         """Convenience wrapper returning decoded text."""

@@ -31,7 +31,14 @@ the paper discusses:
   entire prefill/mixed batch (CSR query offsets, one padded slot-table
   gather, segment-masked causal softmax, grouped-head GQA matmuls) into
   one numpy pass, with a memory-footprint guard falling back to the
-  per-request vectorized kernel for pathological raggedness.  All are
+  per-request vectorized kernel for pathological raggedness;
+- :mod:`~repro.kernels.packed_cache` — the **incremental metadata
+  layer**: :class:`~repro.kernels.packed_cache.PackedDecodeCache` keeps
+  the decode batch's padded slot table and gathered-KV staging buffers
+  alive across iterations (extend / repair / rebuild lifecycle keyed on
+  block-table version counters), and
+  :func:`~repro.kernels.packed_cache.packed_decode_attention` runs the
+  same segment-masked decode math over the staged buffers.  All are
   verified (~1e-6) against the per-request kernels above, which remain
   the correctness oracle.
 """
@@ -42,7 +49,14 @@ from repro.kernels.multi_token import multi_token_attention
 from repro.kernels.single_token import single_token_attention
 from repro.kernels.batched import (
     batched_single_token_attention,
+    segment_masked_decode,
     vectorized_multi_token_attention,
+)
+from repro.kernels.packed_cache import (
+    DecodeSlotSource,
+    PackedBatch,
+    PackedDecodeCache,
+    packed_decode_attention,
 )
 from repro.kernels.ragged import ragged_multi_token_attention
 from repro.kernels.strawmen import copyout_attention, multiround_attention
@@ -55,7 +69,12 @@ __all__ = [
     "multi_token_attention",
     "single_token_attention",
     "batched_single_token_attention",
+    "segment_masked_decode",
     "vectorized_multi_token_attention",
+    "DecodeSlotSource",
+    "PackedBatch",
+    "PackedDecodeCache",
+    "packed_decode_attention",
     "ragged_multi_token_attention",
     "copyout_attention",
     "multiround_attention",

@@ -48,6 +48,45 @@ def _grouped_heads(num_heads: int, kv_heads: int) -> int:
     return num_heads // kv_heads
 
 
+def segment_masked_decode(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    lengths: np.ndarray,
+    scale: float,
+) -> np.ndarray:
+    """The decode-batch math shared by the packed-table and packed-cache
+    entry points: segment-masked batched matmuls + stable softmax.
+
+    Args:
+        q: ``[n, kv_heads, group, head_dim]`` grouped-head query view.
+        k / v: ``[n, C, kv_heads, head_dim]`` gathered context, rows
+            padded to the common width ``C``.
+        lengths: ``[n]`` valid context length per row.
+        scale: resolved score scale.
+
+    Returns:
+        ``[n, kv_heads, group, head_dim]`` attention outputs.
+    """
+    # scores[i, k, g, c] = q[i, k, g] . K[i, c, k] — one batched matmul
+    # (BLAS) for every request and head at once.
+    scores = q @ k.transpose(0, 2, 3, 1)  # [n, kv, g, C]
+    scores *= scale
+    max_context = k.shape[1]
+    if bool((lengths != max_context).any()):
+        # Segment mask: positions beyond a request's boundary never
+        # attend.  Uniform-length batches (the common decode case) have
+        # no padding and skip the masking pass entirely.
+        valid = np.arange(max_context)[None, :] < lengths[:, None]
+        scores = np.where(valid[:, None, None, :], scores, -np.inf)
+
+    scores -= scores.max(axis=-1, keepdims=True)
+    weights = np.exp(scores, out=scores)
+    weights /= weights.sum(axis=-1, keepdims=True)
+
+    return weights @ v.transpose(0, 2, 1, 3)  # [n, kv, g, head_dim]
+
+
 def batched_single_token_attention(
     requests: Sequence[AttentionRequest],
     k_cache: np.ndarray,
@@ -114,7 +153,6 @@ def batched_single_token_attention(
     table = np.zeros((n, max_context), dtype=np.int64)
     for i, request in enumerate(requests):
         table[i, : lengths[i]] = request.slots
-    ragged = bool((lengths != max_context).any())
 
     # ONE gather over the paged cache for the whole batch.
     k = k_cache[table]  # [n, C, kv_heads, head_dim]
@@ -126,22 +164,7 @@ def batched_single_token_attention(
         n, kv_heads, group, head_dim
     )
 
-    # scores[i, k, g, c] = q[i, k, g] . K[i, c, k] — one batched matmul
-    # (BLAS) for every request and head at once.
-    scores = q @ k.transpose(0, 2, 3, 1)  # [n, kv, g, C]
-    scores *= scale
-    if ragged:
-        # Segment mask: positions beyond a request's boundary never
-        # attend.  Uniform-length batches (the common decode case) have
-        # no padding and skip the masking pass entirely.
-        valid = np.arange(max_context)[None, :] < lengths[:, None]
-        scores = np.where(valid[:, None, None, :], scores, -np.inf)
-
-    scores -= scores.max(axis=-1, keepdims=True)
-    weights = np.exp(scores, out=scores)
-    weights /= weights.sum(axis=-1, keepdims=True)
-
-    out = weights @ v.transpose(0, 2, 1, 3)  # [n, kv, g, head_dim]
+    out = segment_masked_decode(q, k, v, lengths, scale)
     return [out[i].reshape(1, num_heads, head_dim) for i in range(n)]
 
 

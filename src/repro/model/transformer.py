@@ -34,6 +34,12 @@ from repro.kernels import (
     ragged_multi_token_attention,
     split_disjoint_query,
 )
+from repro.kernels.packed_cache import (
+    DecodeSlotSource,
+    PackedBatch,
+    PackedDecodeCache,
+    packed_decode_attention,
+)
 from repro.kvcache.storage import KVStorage
 from repro.model.config import ModelConfig
 from repro.model.layers import LayerNorm, Linear, OptMlp, RMSNorm, SwiGluMlp
@@ -60,18 +66,38 @@ class ForwardRequest:
         shared_prefix: tokens of always-resident shared context (e.g. a
             common system prompt) at the very front of ``context_slots``;
             they are never recomputed and never written by this request.
+        slot_view: optional :class:`~repro.kernels.packed_cache.DecodeSlotSource`
+            describing the context *by reference* (block table + shared
+            prefix slots) instead of as a materialised array.  When given,
+            ``context_slots`` may be ``None``: the packed decode path
+            reads the table incrementally and the full array is only
+            materialised on demand for fallback kernels.  Requires
+            ``dropped == 0`` (a recompute split has no single table).
     """
 
     input_ids: np.ndarray
-    context_slots: Sequence[int]
+    context_slots: Optional[Sequence[int]]
     positions: Optional[np.ndarray] = None
     dropped: int = 0
     shared_prefix: int = 0
+    slot_view: Optional[DecodeSlotSource] = None
 
     def __post_init__(self) -> None:
         self.input_ids = np.asarray(self.input_ids, dtype=np.int64)
         n_new = self.input_ids.shape[0]
-        total = len(self.context_slots)
+        if self.context_slots is None:
+            if self.slot_view is None:
+                raise ValueError(
+                    "context_slots may only be omitted with a slot_view"
+                )
+            if self.dropped != 0:
+                raise ValueError(
+                    "slot_view-backed requests cannot carry a recompute split"
+                )
+            total = self.slot_view.total_len
+        else:
+            total = len(self.context_slots)
+        self.total_context = total
         if self.dropped < 0 or self.dropped > n_new:
             raise ValueError(f"invalid dropped count {self.dropped}")
         if self.shared_prefix < 0 or self.shared_prefix + n_new > total:
@@ -92,9 +118,33 @@ class ForwardRequest:
     def num_new_tokens(self) -> int:
         return int(self.input_ids.shape[0])
 
+    def full_context_slots(self) -> np.ndarray:
+        """The entire context's physical slots in logical order,
+        materialising from the slot view when ``context_slots`` is
+        omitted."""
+        if self.context_slots is not None:
+            return np.asarray(self.context_slots, dtype=np.int64)
+        view = self.slot_view
+        table_slots = view.table.slots_array(0, view.table.length)
+        if len(view.prefix) == 0:
+            return table_slots
+        return np.concatenate(
+            [np.asarray(view.prefix, dtype=np.int64), table_slots]
+        )
+
     def write_slots(self) -> np.ndarray:
         """Physical slots the new tokens' KV rows are written to."""
-        return np.asarray(self.context_slots, dtype=np.int64)[self.positions]
+        if self.context_slots is not None:
+            return np.asarray(self.context_slots, dtype=np.int64)[self.positions]
+        view = self.slot_view
+        prefix_len = len(view.prefix)
+        # New tokens always live past the shared prefix, so their slots
+        # come straight from the block table — no full materialisation.
+        return np.fromiter(
+            (view.table.slot(int(p) - prefix_len) for p in self.positions),
+            dtype=np.int64,
+            count=self.num_new_tokens,
+        )
 
 
 @dataclass
@@ -109,17 +159,32 @@ class _RequestPlan:
 
     write_slots: np.ndarray
     #: ``(q_lo, q_hi, slots, query_offset)`` per Figure 8(d) sub-request.
-    spans: List[tuple]
+    #: ``None`` for slot_view-backed requests until a fallback kernel
+    #: needs them (the packed decode path never does).
+    spans: Optional[List[tuple]]
     #: True iff this request is a pure generation step (one trailing query
     #: token, no recompute split) — eligible for the batched decode kernel.
     decode_shaped: bool
 
     @staticmethod
     def build(request: "ForwardRequest") -> "_RequestPlan":
+        decode_shaped = request.num_new_tokens == 1 and request.dropped == 0
+        if request.context_slots is None:
+            # Slot-view request: defer span materialisation; the packed
+            # decode path reads the block table incrementally instead.
+            return _RequestPlan(request.write_slots(), None, decode_shaped)
+        return _RequestPlan(
+            request.write_slots(),
+            _RequestPlan._build_spans(request),
+            decode_shaped,
+        )
+
+    @staticmethod
+    def _build_spans(request: "ForwardRequest") -> List[tuple]:
         # One int64 conversion per request; span slot lists are zero-copy
         # views into it.
-        slots = np.asarray(request.context_slots, dtype=np.int64)
-        spans = [
+        slots = request.full_context_slots()
+        return [
             (q_lo, q_hi, slots[:context_end], query_offset)
             for q_lo, q_hi, context_end, query_offset in disjoint_query_spans(
                 request.num_new_tokens,
@@ -128,8 +193,11 @@ class _RequestPlan:
                 shared_prefix=request.shared_prefix,
             )
         ]
-        decode_shaped = request.num_new_tokens == 1 and request.dropped == 0
-        return _RequestPlan(request.write_slots(), spans, decode_shaped)
+
+    def ensure_spans(self, request: "ForwardRequest") -> List[tuple]:
+        if self.spans is None:
+            self.spans = _RequestPlan._build_spans(request)
+        return self.spans
 
 
 @dataclass
@@ -155,6 +223,11 @@ class PagedTransformer:
             sub-request split and write-slot computation.  ``False`` runs
             the original per-layer, per-request tiled path — kept as the
             end-to-end baseline the benchmark harness measures against.
+        packing_cache: keep a :class:`PackedDecodeCache` so all-decode
+            batches of slot_view-backed requests reuse their packed slot
+            table and gathered-KV staging buffers across iterations
+            instead of rebuilding both every step.  Requires
+            ``use_fast_paths``; numerically transparent either way.
     """
 
     def __init__(
@@ -163,6 +236,7 @@ class PagedTransformer:
         storage: KVStorage,
         seed: int = 0,
         use_fast_paths: bool = True,
+        packing_cache: bool = True,
     ) -> None:
         if storage.config is not config and (
             storage.config.num_layers != config.num_layers
@@ -173,6 +247,9 @@ class PagedTransformer:
         self.config = config
         self.storage = storage
         self.use_fast_paths = use_fast_paths
+        self.decode_cache: Optional[PackedDecodeCache] = (
+            PackedDecodeCache() if (packing_cache and use_fast_paths) else None
+        )
         rng = np.random.default_rng(seed)
         h = config.hidden_size
         kv = config.kv_dim
@@ -229,9 +306,24 @@ class PagedTransformer:
         plans = (
             [_RequestPlan.build(r) for r in batch] if self.use_fast_paths else None
         )
+        # Incremental pack: ONCE per forward pass (the slot layout is
+        # layer-invariant), not once per layer, and only the rows whose
+        # block table changed since the previous iteration are repacked.
+        packed: Optional[PackedBatch] = None
+        if (
+            plans is not None
+            and self.decode_cache is not None
+            and all(
+                p.decode_shaped and r.slot_view is not None
+                for p, r in zip(plans, batch)
+            )
+        ):
+            packed = self.decode_cache.pack([r.slot_view for r in batch])
 
         for layer_idx, w in enumerate(self.layers):
-            x = x + self._attention_block(layer_idx, w, x, batch, bounds, plans)
+            x = x + self._attention_block(
+                layer_idx, w, x, batch, bounds, plans, packed
+            )
             x = x + w.mlp(w.mlp_norm(x))
 
         x = self.final_norm(x)
@@ -263,12 +355,37 @@ class PagedTransformer:
         batch: Sequence[ForwardRequest],
         bounds: np.ndarray,
         plans: Optional[List[_RequestPlan]] = None,
+        packed: Optional[PackedBatch] = None,
     ) -> np.ndarray:
         cfg = self.config
         normed = w.attn_norm(x)
         q = w.q_proj(normed).reshape(-1, cfg.num_heads, cfg.head_dim)
         k = w.k_proj(normed).reshape(-1, cfg.num_kv_heads, cfg.head_dim)
         v = w.v_proj(normed).reshape(-1, cfg.num_kv_heads, cfg.head_dim)
+
+        if packed is not None:
+            # All-decode packed path: one token per request, rows in batch
+            # order — RoPE, the KV store and the attention all run as
+            # single whole-batch operations, and the attention reads the
+            # cache through the incremental staging buffers.
+            positions = np.fromiter(
+                (int(r.positions[0]) for r in batch),
+                dtype=np.int64,
+                count=len(batch),
+            )
+            if cfg.arch == "llama":
+                q = apply_rope(q, positions)
+                k = apply_rope(k, positions)
+            write_slots = np.concatenate([p.write_slots for p in plans])
+            self.storage.write(layer_idx, write_slots, k, v)
+            out = packed_decode_attention(
+                q,
+                packed,
+                layer_idx,
+                self.storage.k[layer_idx],
+                self.storage.v[layer_idx],
+            )
+            return w.o_proj(out.reshape(x.shape[0], -1))
 
         outputs = np.empty_like(q)
         kernel_requests = []
@@ -285,7 +402,7 @@ class PagedTransformer:
                 self.storage.write(layer_idx, request.write_slots(), k_i, v_i)
                 subs = split_disjoint_query(
                     q_i,
-                    list(request.context_slots),
+                    list(request.full_context_slots()),
                     request.dropped,
                     shared_prefix=request.shared_prefix,
                 )
@@ -297,7 +414,7 @@ class PagedTransformer:
                     AttentionRequest(
                         query=q_i[q_lo:q_hi], slots=slots, query_offset=offset
                     )
-                    for q_lo, q_hi, slots, offset in plan.spans
+                    for q_lo, q_hi, slots, offset in plan.ensure_spans(request)
                 ]
             start = lo
             for sub in subs:

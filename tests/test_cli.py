@@ -23,6 +23,29 @@ class TestParser:
         assert args.output == "BENCH_kernels.json"
         assert args.quick is False
         assert args.repeats is None
+        assert args.decode_sched == "page-aware"
+        assert args.packing_cache == "on"
+
+    def test_sched_flags_on_every_serving_command(self):
+        parser = build_parser()
+        for command, default in (
+            ("chat", "page-aware"),
+            ("simulate", "fifo"),
+            ("sweep", "fifo"),
+            ("bench", "page-aware"),
+        ):
+            args = parser.parse_args([command])
+            assert args.decode_sched == default
+            assert args.packing_cache == "on"
+            args = parser.parse_args(
+                [command, "--decode-sched", "fifo", "--packing-cache", "off"]
+            )
+            assert args.decode_sched == "fifo"
+            assert args.packing_cache == "off"
+
+    def test_invalid_sched_choice_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--decode-sched", "lifo"])
 
     def test_unknown_model_rejected(self):
         with pytest.raises(SystemExit):
@@ -46,6 +69,26 @@ class TestSimulate:
         assert "Pensieve" in out
         assert "throughput_rps" in out
         assert "cache" in out
+
+    def test_page_aware_simulate_runs(self, capsys):
+        rc = main(
+            [
+                "simulate", "--system", "pensieve", "--model", "opt-13b",
+                "--rate", "2", "--duration", "40", "--seed", "3",
+                "--decode-sched", "page-aware", "--packing-cache", "off",
+            ]
+        )
+        assert rc == 0
+        assert "Pensieve" in capsys.readouterr().out
+
+    def test_page_aware_rejected_for_stateless_systems(self):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "simulate", "--system", "vllm", "--duration", "5",
+                    "--decode-sched", "page-aware",
+                ]
+            )
 
     def test_simulate_vllm_has_no_cache_line(self, capsys):
         rc = main(
