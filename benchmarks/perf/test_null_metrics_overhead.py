@@ -1,0 +1,71 @@
+"""Wall-clock guard for the disabled SLO layer (not part of tier-1).
+
+The deterministic companion (``tests/obs/test_null_overhead.py``) proves
+the unarmed hot loop never calls into the null sinks; this benchmark
+bounds the end-to-end consequence: an unarmed decode-loop run must not
+be slower than the same run with histograms + flight recorder armed
+(best-of-N, with generous slack for scheduler noise).
+"""
+
+import time
+
+import pytest
+
+from repro.core.engine import PensieveEngine
+from repro.experiments.common import run_serving_once
+from repro.obs import FlightRecorder, HistogramSet, SloConfig
+
+from tests.serving.conftest import TINY, scripted_conversation, spec_with_capacity
+
+pytestmark = pytest.mark.slow
+
+REPEATS = 3
+
+
+def _workload():
+    """Decode-heavy conversations under GPU-tier pressure."""
+    return [
+        scripted_conversation(i, [(24, 48), (16, 48)], start=0.05 * i, think=0.2)
+        for i in range(8)
+    ]
+
+
+def _factory(loop):
+    return PensieveEngine(
+        loop, TINY, spec_with_capacity(256), chunk_size=16, policy="lru"
+    )
+
+
+def _best_of(fn, repeats=REPEATS):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_unarmed_decode_loop_not_slower_than_armed():
+    def unarmed():
+        run_serving_once(_factory, _workload(), until=60.0)
+
+    def armed():
+        run_serving_once(
+            _factory,
+            _workload(),
+            until=60.0,
+            slo=SloConfig(ttft=0.5, tbt=0.2),
+            hist=HistogramSet(),
+            flight=FlightRecorder(),
+        )
+
+    unarmed()  # warm caches/JIT-able paths before timing either variant
+    t_unarmed = _best_of(unarmed)
+    t_armed = _best_of(armed)
+    # The armed run does strictly more work; the unarmed run must not
+    # lose to it beyond timer noise.  1.25x + 50ms absorbs CI jitter
+    # while still catching an accidentally always-on recording path.
+    assert t_unarmed <= t_armed * 1.25 + 0.05, (
+        f"disabled SLO layer slowed the decode loop: "
+        f"unarmed={t_unarmed:.4f}s armed={t_armed:.4f}s"
+    )

@@ -12,10 +12,17 @@ Run as ``python -m repro <command>``:
   vectorized layer against the per-request reference kernels, writes
   ``BENCH_kernels.json``, exits non-zero if outputs diverge;
 - ``trace``     — run an experiment with full telemetry and export the
-  trace (Chrome trace JSON, JSONL event log, text report).
+  trace (Chrome trace JSON, JSONL event log, text report);
+- ``metrics``   — one serving run with the SLO observability layer armed:
+  writes a Prometheus text snapshot (self-reconciling against the
+  engine/PCIe/NVMe ledgers), a periodic JSONL metrics stream and the
+  flight-recorder captures of every SLO-violating or failed request.
 
 ``simulate`` and ``bench`` also accept ``--trace-out DIR`` to record the
-same telemetry alongside their normal output.
+same telemetry alongside their normal output; ``simulate`` / ``sweep`` /
+``chat`` accept ``--slo-ttft`` / ``--slo-tbt`` / ``--metrics-out`` to arm
+the SLO layer, and ``bench --check-history`` compares the run against the
+``BENCH_kernels.json`` history ledger (non-gating regression watchdog).
 """
 
 from __future__ import annotations
@@ -122,7 +129,89 @@ def _write_trace(tracer, outdir: str, prefix: str = "trace") -> None:
         print(f"trace [{kind:6s}]: {paths[kind]}")
 
 
+def _slo_config(args: argparse.Namespace):
+    """A SloConfig when any SLO/metrics flag was given, else None.
+
+    ``--metrics-out`` alone arms the metrics layer with no objectives
+    (histograms and the flight recorder record; nothing can violate).
+    """
+    ttft = getattr(args, "slo_ttft", None)
+    tbt = getattr(args, "slo_tbt", None)
+    if ttft is None and tbt is None and not getattr(args, "metrics_out", None):
+        return None
+    from repro.obs import SloConfig
+
+    return SloConfig(ttft=ttft, tbt=tbt)
+
+
+def _make_sampler(args: argparse.Namespace):
+    """A MetricsSampler bounded by the run duration (``--metrics-out``
+    runs only; ~100 rows regardless of duration)."""
+    if not getattr(args, "metrics_out", None):
+        return None
+    from repro.obs import MetricsSampler
+
+    duration = getattr(args, "duration", 0.0) or 0.0
+    return MetricsSampler(
+        interval=max(duration / 100.0, 1e-3), horizon=duration or None
+    )
+
+
+def _print_slo_summary(collector) -> None:
+    """Attribution table + SLO/capture counts for an armed collector."""
+    from repro.obs import tier_attribution_table
+
+    table = tier_attribution_table(
+        collector.hist, title="-- latency attribution (sim seconds) --"
+    )
+    if table:
+        print(table)
+    report = collector.slo_report()
+    if report["slo"] is not None:
+        print(f"slo           : {report['slo']}")
+        print(
+            f"slo violations: {report['violations_by_kind']} "
+            f"({report['violated_requests']} requests)"
+        )
+    print(
+        f"flight capture: {report['captures']} timelines "
+        f"({report['dropped_captures']} dropped, "
+        f"{report['failed_requests']} failed requests)"
+    )
+
+
+def _write_metrics(engine, outdir: str, sampler=None,
+                   prefix: str = "metrics") -> None:
+    """Write the metrics artifacts: Prometheus snapshot (embedding the
+    ledger counters so it is self-reconciling), sampler JSONL, and the
+    flight-recorder capture dump."""
+    import os
+
+    from repro.obs import ledger_counters, prometheus_snapshot
+
+    os.makedirs(outdir, exist_ok=True)
+    prom_path = os.path.join(outdir, f"{prefix}.prom")
+    with open(prom_path, "w", encoding="utf-8") as fh:
+        fh.write(
+            prometheus_snapshot(
+                collector=engine.metrics, counters=ledger_counters(engine)
+            )
+        )
+    print(f"metrics [prom   ]: {prom_path}")
+    if sampler is not None:
+        jsonl_path = os.path.join(outdir, f"{prefix}.jsonl")
+        sampler.write_jsonl(jsonl_path)
+        print(f"metrics [jsonl  ]: {jsonl_path}")
+    flight = engine.metrics.flight
+    if flight.enabled:
+        cap_path = os.path.join(outdir, f"{prefix}_captures.jsonl")
+        flight.dump_captures(cap_path)
+        print(f"metrics [flight ]: {cap_path}")
+
+
 def cmd_chat(args: argparse.Namespace) -> int:
+    import time as _time
+
     from repro.core.server import StatefulChatServer
     from repro.model.config import tiny_llama_config, tiny_opt_config
 
@@ -138,6 +227,47 @@ def cmd_chat(args: argparse.Namespace) -> int:
     )
     if args.system_prompt:
         server.set_system_prompt(args.system_prompt)
+
+    # Chat is a real (functional) server, so SLO metrics run on the WALL
+    # clock: --slo-ttft bounds the whole turn, --slo-tbt the per-token
+    # mean over the turn's max_new_tokens.
+    slo = _slo_config(args)
+    hist = None
+    violations = {"ttft": 0, "tbt": 0}
+    if slo is not None:
+        from repro.obs import HistogramSet
+
+        hist = HistogramSet()
+
+    def _finish() -> int:
+        if hist is None:
+            return 0
+        from repro.obs import tier_attribution_table
+
+        table = tier_attribution_table(
+            hist, title="-- chat turn latency (wall seconds) --"
+        )
+        if table:
+            print(table)
+        if slo.armed:
+            print(f"slo violations: {violations}")
+        if args.metrics_out:
+            import os
+
+            from repro.obs import prometheus_snapshot
+
+            os.makedirs(args.metrics_out, exist_ok=True)
+            prom_path = os.path.join(args.metrics_out, "chat_metrics.prom")
+            counters = {
+                f"slo_violations.{kind}": float(count)
+                for kind, count in violations.items()
+                if count
+            }
+            with open(prom_path, "w", encoding="utf-8") as fh:
+                fh.write(prometheus_snapshot(hists=hist, counters=counters))
+            print(f"metrics [prom   ]: {prom_path}")
+        return 0
+
     print(
         "Stateful chat demo (random-weight tiny model; replies are noise,\n"
         "the cache behaviour is real).  Commands: /stats, /quit.\n"
@@ -148,17 +278,27 @@ def cmd_chat(args: argparse.Namespace) -> int:
             line = input("you> ").strip()
         except (EOFError, KeyboardInterrupt):
             print()
-            return 0
+            return _finish()
         if not line:
             continue
         if line == "/quit":
-            return 0
+            return _finish()
         if line == "/stats":
             print(f"  context: {server.context_length(conv_id)} tokens")
             print(f"  placement: {server.placement(conv_id)}")
             print(f"  cache stats: {server.manager.stats}")
             continue
+        start = _time.perf_counter()
         reply = server.chat_text(conv_id, line, max_new_tokens=args.max_tokens)
+        elapsed = _time.perf_counter() - start
+        if hist is not None:
+            hist.hist("chat_turn_seconds", clock="wall").record(elapsed)
+            per_token = elapsed / max(1, args.max_tokens)
+            hist.hist("chat_token_seconds", clock="wall").record(per_token)
+            if slo.ttft is not None and elapsed > slo.ttft:
+                violations["ttft"] += 1
+            if slo.tbt is not None and per_token > slo.tbt:
+                violations["tbt"] += 1
         print(f"bot> {reply}")
 
 
@@ -178,6 +318,8 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     )
     fault_plan = _fault_plan(args)
     tracer = _make_tracer(args)
+    slo = _slo_config(args)
+    sampler = _make_sampler(args)
     engine, stats = run_serving_once(
         _engine_factory(args.system, config, fault_plan,
                         disk_tokens=args.disk_tokens,
@@ -187,6 +329,8 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         until=args.duration,
         warmup=args.duration * 0.3,
         tracer=tracer,
+        slo=slo,
+        sampler=sampler,
     )
     print(f"system        : {engine.name}")
     print(f"model         : {config.name} ({config.num_gpus} GPU(s))")
@@ -199,6 +343,10 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     if fault_plan is not None:
         print("faults        :", engine.metrics.faults.as_dict())
         print(f"degraded      : {engine.num_failed}")
+    if slo is not None:
+        _print_slo_summary(engine.metrics)
+    if args.metrics_out:
+        _write_metrics(engine, args.metrics_out, sampler=sampler)
     if tracer is not None:
         _write_trace(tracer, args.trace_out, prefix="trace_simulate")
     return 0
@@ -210,6 +358,13 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
     config = _model(args.model)
     dataset = ULTRACHAT if args.dataset == "ultrachat" else SHAREGPT
+    slo = _slo_config(args)
+    hist = flight = None
+    if slo is not None:
+        # Shared sinks aggregate SLO metrics across every rate's engine.
+        from repro.obs import FlightRecorder, HistogramSet
+
+        hist, flight = HistogramSet(), FlightRecorder()
     points = run_rate_sweep(
         _engine_factory(args.system, config, disk_tokens=args.disk_tokens,
                         decode_sched=args.decode_sched,
@@ -219,8 +374,35 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         duration=args.duration,
         think_time_mean=args.think_time,
         seed=args.seed,
+        slo=slo,
+        hist=hist,
+        flight=flight,
     )
     print(format_curve_table(f"{args.system} / {config.name}", points))
+    if hist is not None:
+        from repro.obs import tier_attribution_table
+
+        table = tier_attribution_table(
+            hist,
+            title="-- latency attribution, all rates (sim seconds) --",
+        )
+        if table:
+            print()
+            print(table)
+    if args.metrics_out:
+        import os
+
+        from repro.obs import prometheus_snapshot
+
+        os.makedirs(args.metrics_out, exist_ok=True)
+        prom_path = os.path.join(args.metrics_out, "sweep_metrics.prom")
+        counters = {
+            f"flight_events.{key}": float(value)
+            for key, value in flight.event_counts.items()
+        }
+        with open(prom_path, "w", encoding="utf-8") as fh:
+            fh.write(prometheus_snapshot(hists=hist, counters=counters))
+        print(f"metrics [prom   ]: {prom_path}")
     return 0
 
 
@@ -240,6 +422,51 @@ def cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """One serving run with the SLO observability layer armed end to end."""
+    from repro.experiments.common import run_serving_once
+    from repro.obs import MetricsSampler, SloConfig, parse_prometheus
+    from repro.workload.dataset import SHAREGPT, ULTRACHAT, generate_workload
+
+    config = _model(args.model)
+    dataset = ULTRACHAT if args.dataset == "ultrachat" else SHAREGPT
+    conversations = generate_workload(
+        dataset,
+        request_rate=args.rate,
+        duration=args.duration,
+        think_time_mean=args.think_time,
+        seed=args.seed,
+    )
+    slo = SloConfig(ttft=args.slo_ttft, tbt=args.slo_tbt)
+    sampler = MetricsSampler(
+        interval=max(args.duration / 100.0, 1e-3), horizon=args.duration
+    )
+    engine, stats = run_serving_once(
+        _engine_factory(args.system, config, _fault_plan(args),
+                        disk_tokens=args.disk_tokens),
+        conversations,
+        until=args.duration,
+        warmup=args.duration * 0.3,
+        slo=slo,
+        sampler=sampler,
+    )
+    print(f"system        : {engine.name}")
+    print(f"workload      : {dataset.name} @ {args.rate} req/s, "
+          f"{args.duration:.0f}s")
+    for key, value in stats.as_dict().items():
+        print(f"{key:22s}: {value}")
+    _print_slo_summary(engine.metrics)
+    _write_metrics(engine, args.out, sampler=sampler)
+    # Round-trip the snapshot as a validity check (CI metrics-smoke).
+    import os
+
+    prom_path = os.path.join(args.out, "metrics.prom")
+    with open(prom_path, encoding="utf-8") as fh:
+        families = parse_prometheus(fh.read())
+    print(f"snapshot parses: {len(families)} metric families")
+    return 0
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import check_thresholds, format_table, run_all, write_json
 
@@ -250,6 +477,21 @@ def cmd_bench(args: argparse.Namespace) -> int:
         decode_sched=args.decode_sched,
     )
     print(format_table(results))
+    if args.check_history:
+        # Load the ledger BEFORE write_json appends the current run, so
+        # a run is never compared against itself.
+        from repro.bench import (
+            check_history,
+            format_report,
+            load_history_ledger,
+            summarize,
+        )
+
+        ledger = load_history_ledger(args.output) if args.output else []
+        verdicts = check_history(summarize(results), ledger)
+        print()
+        print(format_report(verdicts, history_len=len(ledger)))
+        print("(non-gating: the watchdog never fails the build)")
     if args.output:
         write_json(results, args.output, quick=args.quick, seed=args.seed)
         print(f"\nwrote {args.output}")
@@ -316,6 +558,11 @@ def cmd_trace(args: argparse.Namespace) -> int:
         print(format_fig15x(curves))
     else:  # pragma: no cover - argparse choices prevent this
         raise SystemExit(f"unknown experiment {args.experiment!r}")
+    if args.summary:
+        from repro.obs import span_summary
+
+        tracer.close_open(t=args.duration)
+        print(span_summary(tracer, top=args.top))
     _write_trace(tracer, args.out, prefix=f"trace_{args.experiment}")
     return 0
 
@@ -347,6 +594,28 @@ def _add_sched_flags(parser: argparse.ArgumentParser, default_sched: str) -> Non
                              "(default on)")
 
 
+def _add_slo_flags(parser: argparse.ArgumentParser) -> None:
+    """The SLO-objective / metrics-artifact flag trio.
+
+    Any one of them arms the SLO observability layer (streaming latency
+    histograms + per-request flight recorder); the objectives addition-
+    ally classify violations and capture slow-request timelines.
+    """
+    parser.add_argument("--slo-ttft", type=float, default=None,
+                        metavar="SECONDS",
+                        help="time-to-first-token objective; requests over "
+                             "it count as violations and dump their flight "
+                             "timeline")
+    parser.add_argument("--slo-tbt", type=float, default=None,
+                        metavar="SECONDS",
+                        help="mean time-between-tokens objective (same "
+                             "violation handling)")
+    parser.add_argument("--metrics-out", default=None, metavar="DIR",
+                        help="write the metrics artifacts (Prometheus text "
+                             "snapshot, JSONL samples, flight captures) "
+                             "here; also arms the SLO layer by itself")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -365,6 +634,7 @@ def build_parser() -> argparse.ArgumentParser:
     chat.add_argument("--system-prompt", default="")
     chat.add_argument("--seed", type=int, default=0)
     _add_sched_flags(chat, default_sched="page-aware")
+    _add_slo_flags(chat)
     chat.set_defaults(func=cmd_chat)
 
     simulate = sub.add_parser("simulate", help="one serving-simulation run")
@@ -389,6 +659,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="record full telemetry and write the trace "
                                "artifacts (Chrome JSON, JSONL, text) here")
     _add_sched_flags(simulate, default_sched="fifo")
+    _add_slo_flags(simulate)
     simulate.set_defaults(func=cmd_simulate)
 
     sweep = sub.add_parser("sweep", help="latency-throughput curve")
@@ -405,6 +676,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="enable the NVMe-modeled disk tier with this "
                             "many KV-tokens of capacity (stateful systems)")
     _add_sched_flags(sweep, default_sched="fifo")
+    _add_slo_flags(sweep)
     sweep.set_defaults(func=cmd_sweep)
 
     figures = sub.add_parser("figures", help="fast analytical figures")
@@ -428,6 +700,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--trace-out", default=None, metavar="DIR",
                        help="record per-scenario wall-clock spans and write "
                             "the trace artifacts here")
+    bench.add_argument("--check-history", action="store_true",
+                       help="compare the run's per-family speedups against "
+                            "the trailing median of the BENCH_kernels.json "
+                            "history ledger (pass/warn/fail report; "
+                            "non-gating)")
     _add_sched_flags(bench, default_sched="page-aware")
     bench.set_defaults(func=cmd_bench)
 
@@ -451,7 +728,42 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--disk-tokens", type=int, default=0,
                        help="enable the NVMe-modeled disk tier with this "
                             "many KV-tokens of capacity (simulate/fig15x)")
+    trace.add_argument("--summary", action="store_true",
+                       help="print per-span-name aggregates and the top-N "
+                            "slowest spans before writing the artifacts")
+    trace.add_argument("--top", type=int, default=10,
+                       help="slowest-span count for --summary (default 10)")
     trace.set_defaults(func=cmd_trace)
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="one serving run with the SLO observability layer armed",
+    )
+    metrics.add_argument("--system", default="pensieve")
+    metrics.add_argument("--model", default="opt-13b")
+    metrics.add_argument("--dataset", choices=("sharegpt", "ultrachat"),
+                         default="sharegpt")
+    metrics.add_argument("--rate", type=float, default=8.0)
+    metrics.add_argument("--duration", type=float, default=120.0)
+    metrics.add_argument("--think-time", type=float, default=60.0)
+    metrics.add_argument("--seed", type=int, default=7)
+    metrics.add_argument("--disk-tokens", type=int, default=0,
+                         help="enable the NVMe-modeled disk tier with this "
+                              "many KV-tokens of capacity")
+    metrics.add_argument("--fault-seed", type=int, default=None,
+                         help="arm deterministic fault injection so failed "
+                              "requests exercise the capture path")
+    metrics.add_argument("--fault-rate", type=float, default=0.05)
+    metrics.add_argument("--slo-ttft", type=float, default=None,
+                         metavar="SECONDS",
+                         help="time-to-first-token objective")
+    metrics.add_argument("--slo-tbt", type=float, default=None,
+                         metavar="SECONDS",
+                         help="mean time-between-tokens objective")
+    metrics.add_argument("--out", default="metrics", metavar="DIR",
+                         help="output directory for the metrics artifacts "
+                              "(default: metrics/)")
+    metrics.set_defaults(func=cmd_metrics)
 
     report = sub.add_parser("report", help="regenerate EXPERIMENTS.md (slow)")
     report.add_argument("--output", default="EXPERIMENTS.md")

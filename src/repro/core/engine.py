@@ -272,6 +272,10 @@ class PensieveEngine(EngineBase):
             tokens * self.model_config.kv_bytes_per_token,
             num_chunks=chunks,
         )
+        if self.metrics.hist.enabled:
+            self.metrics.hist.hist("swap_out_seconds", tier="disk").record(
+                record.end_time - now
+            )
         self.trace.record(now, "disk_demote", tokens=tokens, chunks=chunks)
         if self.tracer.enabled:
             self.tracer.complete(
@@ -283,7 +287,7 @@ class PensieveEngine(EngineBase):
     # Batch formation (§4.2)
     # ------------------------------------------------------------------
 
-    def _attempt(self, site: FaultSite) -> bool:
+    def _attempt(self, site: FaultSite, request: Optional[Request] = None) -> bool:
         """Try one faultable operation, retrying with bounded backoff.
 
         Retries and their simulated delay are charged to this iteration
@@ -299,6 +303,18 @@ class PensieveEngine(EngineBase):
         self._iter_fault_delay += delay
         if site is FaultSite.GPU_ALLOC and (retries > 0 or not ok):
             self.metrics.faults.alloc_faults += 1
+        flight = self.metrics.flight
+        if flight.enabled and request is not None:
+            if retries > 0:
+                flight.record(
+                    request.request_id, "retry", self.loop.now,
+                    count=retries, site=site.name.lower(),
+                )
+            if not ok:
+                flight.record(
+                    request.request_id, "fault", self.loop.now,
+                    site=site.name.lower(),
+                )
         return ok
 
     def _form_batch(self, now: float) -> List[Request]:
@@ -356,7 +372,7 @@ class PensieveEngine(EngineBase):
             decoders.remove(victim)
         grown: List[Request] = []
         for request in decoders:
-            if not self._attempt(FaultSite.GPU_ALLOC):
+            if not self._attempt(FaultSite.GPU_ALLOC, request):
                 # Allocation kept failing past the retry budget: this
                 # request alone degrades; its siblings keep decoding.
                 self._fail_request(request, now, "gpu_alloc")
@@ -376,12 +392,17 @@ class PensieveEngine(EngineBase):
             # Copied chunks are full-size except at most the tail, so the
             # ceiling division recovers the exact chunk count.
             chunk_size = self.manager.chunk_size
-            self.pcie.swap_out(
+            record = self.pcie.swap_out(
                 now,
                 copied * self.model_config.kv_bytes_per_token,
                 num_chunks=(copied + chunk_size - 1) // chunk_size,
             )
+            if self.metrics.hist.enabled:
+                self.metrics.hist.hist("swap_out_seconds", tier="cpu").record(
+                    record.end_time - now
+                )
         victim.state = RequestState.WAITING
+        victim.last_enqueue_time = now
         self.running.remove(victim)
         self.wait_queue.appendleft(victim)
         self.suspensions += 1
@@ -389,6 +410,16 @@ class PensieveEngine(EngineBase):
             now, "suspend", request_id=victim.request_id,
             copied_tokens=copied, dropped_tokens=dropped,
         )
+        if self.metrics.flight.enabled:
+            self.metrics.flight.record(
+                victim.request_id, "suspend", now,
+                copied_tokens=copied, dropped_tokens=dropped,
+            )
+            if copied:
+                self.metrics.flight.record(
+                    victim.request_id, "swap_out", now, tier="cpu",
+                    tokens=copied,
+                )
         if self.tracer.enabled:
             self.tracer.count("engine.suspensions")
             self.tracer.instant(
@@ -467,7 +498,7 @@ class PensieveEngine(EngineBase):
             if needed_reclaim > 0 and needed_reclaim > self._reclaim_budget(now):
                 refuse()
                 break
-            if not self._attempt(FaultSite.GPU_ALLOC):
+            if not self._attempt(FaultSite.GPU_ALLOC, request):
                 # Terminal allocation fault: degrade this request alone
                 # (structured error path); admission continues behind it.
                 self._fail_request(request, now, "gpu_alloc")
@@ -495,6 +526,15 @@ class PensieveEngine(EngineBase):
                 now, disk_bytes, num_chunks=len(plan.disk_read_chunks)
             )
             h2d_enqueue = record.end_time
+            if self.metrics.hist.enabled:
+                self.metrics.hist.hist("swap_in_seconds", tier="disk").record(
+                    record.end_time - now
+                )
+            if self.metrics.flight.enabled:
+                self.metrics.flight.record(
+                    request.request_id, "swap_in", now, tier="disk",
+                    tokens=plan.disk_read_tokens,
+                )
             self.trace.record(
                 now, "disk_read", request_id=request.request_id,
                 tokens=plan.disk_read_tokens, seconds=record.end_time - now,
@@ -517,6 +557,15 @@ class PensieveEngine(EngineBase):
             self._iter_swap_in_seconds = max(
                 self._iter_swap_in_seconds, record.end_time - now
             )
+            if self.metrics.hist.enabled:
+                self.metrics.hist.hist("swap_in_seconds", tier="cpu").record(
+                    record.end_time - now
+                )
+            if self.metrics.flight.enabled:
+                self.metrics.flight.record(
+                    request.request_id, "swap_in", now, tier="cpu",
+                    tokens=h2d_tokens,
+                )
             self.trace.record(
                 now, "swap_in", request_id=request.request_id,
                 tokens=h2d_tokens, seconds=record.end_time - now,
@@ -532,6 +581,29 @@ class PensieveEngine(EngineBase):
         request.prefill_done = False
         request.state = RequestState.RUNNING
         self.running.append(request)
+        self._note_batch_join(request, now)
+        metrics = self.metrics
+        if plan.recompute_tokens > 0:
+            if metrics.hist.enabled:
+                metrics.hist.hist("recompute_tokens").record(
+                    plan.recompute_tokens
+                )
+                # Attribute the modeled cost of re-prefetching dropped
+                # tokens: priced exactly like the Figure 8(d) sub-request
+                # the kernel would run.
+                metrics.hist.hist("recompute_est_seconds").record(
+                    self.cost_model.iteration_time(
+                        BatchShape.of(
+                            [(plan.recompute_tokens, plan.recompute_tokens)]
+                        ),
+                        variant=KernelVariant.PENSIEVE_PAGED,
+                    )
+                )
+            if metrics.flight.enabled:
+                metrics.flight.record(
+                    request.request_id, "recompute", now,
+                    tokens=plan.recompute_tokens,
+                )
         self._prefill_info[request.request_id] = _PrefillInfo(
             recompute_tokens=plan.recompute_tokens,
             prompt_tokens=plan.new_tokens,
@@ -576,6 +648,11 @@ class PensieveEngine(EngineBase):
         )
         self.metrics.faults.retries += retries
         self._iter_fault_delay += delay
+        if self.metrics.flight.enabled and retries > 0:
+            self.metrics.flight.record(
+                request.request_id, "retry", now, count=retries,
+                site="swap_in",
+            )
         corrupt = ok and self.fault_plan.fires(FaultSite.CPU_READ)
         if ok and not corrupt:
             return plan
@@ -585,6 +662,11 @@ class PensieveEngine(EngineBase):
             self.metrics.faults.corrupted_chunks += len(plan.swap_in_chunks)
         self.metrics.faults.recompute_fallbacks += 1
         invalidated = self.manager.invalidate_cpu_prefix(request.conv_id)
+        if self.metrics.flight.enabled:
+            self.metrics.flight.record(
+                request.request_id, "fault", now, site="swap_in",
+                corrupt=corrupt, tokens=invalidated,
+            )
         self.trace.record(
             now, "swap_in_fallback", request_id=request.request_id,
             tokens=invalidated, corrupt=corrupt,
@@ -616,6 +698,11 @@ class PensieveEngine(EngineBase):
         )
         self.metrics.faults.retries += retries
         self._iter_fault_delay += delay
+        if self.metrics.flight.enabled and retries > 0:
+            self.metrics.flight.record(
+                request.request_id, "retry", now, count=retries,
+                site="nvme_stall",
+            )
         if retries > 0 or not ok:
             self.metrics.faults.nvme_stalls += 1
         corrupt = ok and self.fault_plan.fires(FaultSite.DISK_READ)
@@ -627,6 +714,11 @@ class PensieveEngine(EngineBase):
             self.metrics.faults.corrupted_chunks += len(plan.disk_read_chunks)
         self.metrics.faults.recompute_fallbacks += 1
         invalidated = self.manager.invalidate_disk_prefix(request.conv_id)
+        if self.metrics.flight.enabled:
+            self.metrics.flight.record(
+                request.request_id, "fault", now, site="disk_read",
+                corrupt=corrupt, tokens=invalidated,
+            )
         self.trace.record(
             now, "disk_read_fallback", request_id=request.request_id,
             tokens=invalidated, corrupt=corrupt,
@@ -663,6 +755,10 @@ class PensieveEngine(EngineBase):
                 num_chunks=len(copied),
             )
             self._log_copy(record.end_time, copied_tokens)
+            if self.metrics.hist.enabled:
+                self.metrics.hist.hist("swap_out_seconds", tier="cpu").record(
+                    record.end_time - now
+                )
             self.trace.record(now, "demand_swap_out", tokens=copied_tokens)
             if self.tracer.enabled:
                 self.tracer.complete(
@@ -742,6 +838,10 @@ class PensieveEngine(EngineBase):
                 num_chunks=len(copied),
             )
             self._log_copy(record.end_time, copied_tokens)
+            if self.metrics.hist.enabled:
+                self.metrics.hist.hist("swap_out_seconds", tier="cpu").record(
+                    record.end_time - now
+                )
             self.trace.record(now, "aot_swap_out", tokens=copied_tokens)
             if self.tracer.enabled:
                 self.tracer.complete(

@@ -53,6 +53,10 @@ def run_serving_once(
     until: Optional[float] = None,
     warmup: float = 0.0,
     tracer=None,
+    slo=None,
+    hist=None,
+    flight=None,
+    sampler=None,
 ) -> tuple:
     """Serve one scripted workload (to completion, or up to ``until``).
 
@@ -61,11 +65,22 @@ def run_serving_once(
     :class:`repro.obs.Tracer` records the run's full span/counter/gauge
     telemetry (still-open request spans are closed, marked truncated, at
     the simulation's end time).
+
+    Passing any of ``slo`` (:class:`repro.obs.SloConfig`), ``hist``
+    (:class:`repro.obs.HistogramSet`) or ``flight``
+    (:class:`repro.obs.FlightRecorder`) arms the engine's SLO metrics
+    layer — shared ``hist``/``flight`` instances let sweeps aggregate
+    across runs.  A :class:`repro.obs.MetricsSampler` passed as
+    ``sampler`` is attached to the loop before the run starts.
     """
     loop = EventLoop()
     engine = engine_factory(loop)
     if tracer is not None:
         engine.set_tracer(tracer)
+    if slo is not None or hist is not None or flight is not None:
+        engine.enable_slo_metrics(slo=slo, hist=hist, flight=flight)
+    if sampler is not None:
+        sampler.attach(loop, engine)
     driver = ConversationDriver(loop, engine, conversations)
     driver.run(until=until, max_events=max_events)
     if tracer is not None and tracer.enabled:
@@ -83,6 +98,9 @@ def run_rate_sweep(
     seed: int = 7,
     extras_fn: Optional[Callable[[EngineBase], Dict[str, float]]] = None,
     tracer=None,
+    slo=None,
+    hist=None,
+    flight=None,
 ) -> List[RatePoint]:
     """Sweep request rates and collect one latency–throughput curve.
 
@@ -97,6 +115,11 @@ def run_rate_sweep(
     Every engine under comparison must be swept with the same ``seed`` so
     the scripted conversations (lengths, think times, arrival pattern) are
     identical across systems.
+
+    ``slo`` / ``hist`` / ``flight`` are forwarded to every per-rate run;
+    passing one shared :class:`repro.obs.HistogramSet` /
+    :class:`repro.obs.FlightRecorder` aggregates SLO metrics across the
+    whole sweep (each rate gets a fresh engine, the sinks persist).
     """
     points: List[RatePoint] = []
     for rate in rates:
@@ -115,6 +138,9 @@ def run_rate_sweep(
             until=duration,
             warmup=warmup_fraction * duration,
             tracer=tracer,
+            slo=slo,
+            hist=hist,
+            flight=flight,
         )
         extras = extras_fn(engine) if extras_fn else {}
         points.append(

@@ -45,6 +45,9 @@ def run_fig14(
     seed: int = 7,
     spec: GpuSpec = A100_80GB,
     cpu_cache_tokens: int = None,
+    slo=None,
+    hist=None,
+    flight=None,
 ) -> Dict[str, List[RatePoint]]:
     """Sweep Pensieve under both eviction policies.
 
@@ -65,13 +68,15 @@ def run_fig14(
     return {
         name: run_rate_sweep(
             factory, dataset, rates, duration=duration, seed=seed,
-            extras_fn=cache_extras,
+            extras_fn=cache_extras, slo=slo, hist=hist, flight=flight,
         )
         for name, factory in factories.items()
     }
 
 
-def format_fig14(curves: Dict[str, List[RatePoint]]) -> str:
+def format_fig14(curves: Dict[str, List[RatePoint]], hist=None) -> str:
+    from repro.experiments.fig10 import _attribution_block
+
     parts = ["Figure 14 — retention-value vs LRU eviction (OPT-13B, ShareGPT)"]
     for name, points in curves.items():
         parts.append(format_curve_table(name, points))
@@ -83,4 +88,5 @@ def format_fig14(curves: Dict[str, List[RatePoint]]) -> str:
                 for p in points
             )
         )
-    return "\n".join(parts)
+    parts.append(_attribution_block(hist))
+    return "\n".join(p for p in parts if p)

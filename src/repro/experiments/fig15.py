@@ -32,6 +32,9 @@ def run_fig15(
     seed: int = 7,
     spec: GpuSpec = A100_80GB,
     cpu_cache_tokens: int = None,
+    slo=None,
+    hist=None,
+    flight=None,
 ) -> Dict[str, List[RatePoint]]:
     """Sweep Pensieve across think times, plus the vLLM reference curve.
 
@@ -51,6 +54,9 @@ def run_fig15(
             think_time_mean=think,
             seed=seed,
             extras_fn=cache_extras,
+            slo=slo,
+            hist=hist,
+            flight=flight,
         )
     # vLLM reference curves at both extremes, so the *gap* can be compared
     # across think times (the paper plots vLLM at 600 s as the reference).
@@ -62,12 +68,18 @@ def run_fig15(
             duration=duration,
             think_time_mean=think,
             seed=seed,
+            slo=slo,
+            hist=hist,
+            flight=flight,
         )
     return curves
 
 
-def format_fig15(curves: Dict[str, List[RatePoint]]) -> str:
+def format_fig15(curves: Dict[str, List[RatePoint]], hist=None) -> str:
+    from repro.experiments.fig10 import _attribution_block
+
     parts = ["Figure 15 — impact of average user think time (Llama 2-13B, ShareGPT)"]
     for name, points in curves.items():
         parts.append(format_curve_table(name, points))
-    return "\n".join(parts)
+    parts.append(_attribution_block(hist))
+    return "\n".join(p for p in parts if p)

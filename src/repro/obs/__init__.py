@@ -15,26 +15,73 @@ Three pieces:
 - Exporters (:mod:`repro.obs.export`) — JSONL event log, Chrome
   trace-event JSON (loadable in Perfetto / ``chrome://tracing``), and a
   human-readable text report with per-stage and per-conversation rollups.
-- CLI surface — ``repro trace <experiment>`` and ``--trace-out`` flags on
-  ``simulate`` / ``bench`` (see :mod:`repro.cli`).
+- SLO metrics (:mod:`repro.obs.histogram` / :mod:`repro.obs.flight`) —
+  log-bucketed mergeable latency :class:`Histogram` sets (TTFT, TBT,
+  queue wait, per-tier swap, recompute), a bounded per-request
+  :class:`FlightRecorder` of lifecycle events with slow/failed-request
+  capture, and exporters: Prometheus text snapshots
+  (:func:`prometheus_snapshot`, self-reconciling against
+  :func:`ledger_counters`) plus a sim-clock :class:`MetricsSampler`
+  JSONL stream.
+- CLI surface — ``repro trace <experiment>`` / ``repro metrics`` and the
+  ``--trace-out`` / ``--slo-ttft`` / ``--slo-tbt`` / ``--metrics-out``
+  flags on ``simulate`` / ``sweep`` / ``chat`` (see :mod:`repro.cli`).
 """
 
 from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
+from repro.obs.histogram import (
+    NULL_HISTOGRAM,
+    NULL_HISTOGRAMS,
+    Histogram,
+    HistogramSet,
+    NullHistogram,
+    NullHistogramSet,
+)
+from repro.obs.flight import (
+    NULL_FLIGHT,
+    FlightEvent,
+    FlightRecorder,
+    NullFlightRecorder,
+    SloConfig,
+)
 from repro.obs.export import (
+    MetricsSampler,
+    ledger_counters,
+    parse_prometheus,
+    prometheus_snapshot,
     read_jsonl,
+    span_summary,
     text_report,
+    tier_attribution_table,
     to_chrome_trace,
     to_jsonl,
     write_trace_artifacts,
 )
 
 __all__ = [
+    "NULL_FLIGHT",
+    "NULL_HISTOGRAM",
+    "NULL_HISTOGRAMS",
     "NULL_TRACER",
+    "FlightEvent",
+    "FlightRecorder",
+    "Histogram",
+    "HistogramSet",
+    "MetricsSampler",
+    "NullFlightRecorder",
+    "NullHistogram",
+    "NullHistogramSet",
     "NullTracer",
+    "SloConfig",
     "Span",
     "Tracer",
+    "ledger_counters",
+    "parse_prometheus",
+    "prometheus_snapshot",
     "read_jsonl",
+    "span_summary",
     "text_report",
+    "tier_attribution_table",
     "to_chrome_trace",
     "to_jsonl",
     "write_trace_artifacts",

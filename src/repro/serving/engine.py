@@ -23,6 +23,8 @@ from collections import deque
 from typing import Callable, Deque, Dict, List, Optional, Sequence
 
 from repro.gpu.costmodel import CostModel
+from repro.obs.flight import FlightRecorder, SloConfig
+from repro.obs.histogram import HistogramSet
 from repro.obs.tracer import NULL_TRACER, NullTracer
 from repro.serving.batching import BatchConfig
 from repro.serving.metrics import MetricsCollector
@@ -86,11 +88,29 @@ class EngineBase:
         self.tracer = tracer
         self.loop.tracer = tracer
 
+    def enable_slo_metrics(
+        self,
+        slo: Optional[SloConfig] = None,
+        hist: Optional[HistogramSet] = None,
+        flight: Optional[FlightRecorder] = None,
+    ) -> "EngineBase":
+        """Arm the SLO observability layer (histograms + flight recorder,
+        optional TTFT/TBT objectives) before the simulation runs."""
+        self.metrics.enable_slo(slo=slo, hist=hist, flight=flight)
+        return self
+
     def submit(self, request: Request) -> None:
         """Enqueue a request at the current simulated time."""
         request.state = RequestState.WAITING
+        request.last_enqueue_time = self.loop.now
         self.wait_queue.append(request)
         self.trace.record(self.loop.now, "submit", request_id=request.request_id)
+        if self.metrics.flight.enabled:
+            self.metrics.flight.record(
+                request.request_id, "admit", self.loop.now,
+                conv_id=request.conv_id, turn=request.turn_index,
+                prompt_tokens=request.prompt_tokens,
+            )
         if self.tracer.enabled:
             self._request_spans[request.request_id] = self.tracer.begin(
                 "request",
@@ -138,6 +158,10 @@ class EngineBase:
             pass
         self.failed.append(request)
         self.metrics.faults.degraded_requests += 1
+        if self.metrics.flight.enabled:
+            self.metrics.flight.record(
+                request.request_id, "abort", now, reason=reason
+            )
         self.metrics.fail(request, now, reason)
         self._on_fail(request, now)
         self.trace.record(
@@ -151,6 +175,22 @@ class EngineBase:
 
     def _on_fail(self, request: Request, now: float) -> None:
         """Release engine-specific state of a failed request (hook)."""
+
+    def _note_batch_join(self, request: Request, now: float) -> None:
+        """SLO layer: the request left the wait queue for a running batch.
+
+        Queue wait is measured per wait *episode* (since the last
+        enqueue), so re-admissions after a suspension each contribute
+        their own sample instead of re-counting from arrival.
+        """
+        metrics = self.metrics
+        if metrics.hist.enabled:
+            since = request.last_enqueue_time
+            if since is None:
+                since = request.arrival_time
+            metrics.hist.hist("queue_wait_seconds").record(now - since)
+        if metrics.flight.enabled:
+            metrics.flight.record(request.request_id, "batch_join", now)
 
     # ------------------------------------------------------------------
     # The serving loop
@@ -251,6 +291,11 @@ class EngineBase:
             request.finish_time = now
             self.running.remove(request)
             self._on_finish(request, now)
+            if self.metrics.flight.enabled:
+                self.metrics.flight.record(
+                    request.request_id, "finish", now,
+                    output_tokens=request.output_tokens,
+                )
             self.metrics.complete(request)
             self.trace.record(now, "finish", request_id=request.request_id)
             if self.tracer.enabled:
@@ -292,12 +337,25 @@ class EngineBase:
         """Apply one iteration's progress to a running request.
 
         Default: the iteration produced one output token (the prefill
-        iteration produces the first).
+        iteration produces the first).  With the SLO layer armed this is
+        the streaming TTFT/TBT record site: TTFT at the first token ever
+        (not per re-prefill after preemption), TBT per inter-token gap.
         """
         request.generated_tokens += 1
+        hist = self.metrics.hist
+        if hist.enabled:
+            # Every produced token is exactly one sample: the request's
+            # very first token lands in ``ttft_seconds``, every later one
+            # (re-prefills after preemption included) in ``tbt_seconds``
+            # — so ttft.count + tbt.count == tokens produced, exactly.
+            if request.first_token_time is None:
+                hist.hist("ttft_seconds").record(now - request.arrival_time)
+            elif request.last_token_time is not None:
+                hist.hist("tbt_seconds").record(now - request.last_token_time)
         if not request.prefill_done:
             request.prefill_done = True
             request.first_token_time = now
+        request.last_token_time = now
 
     def _on_finish(self, request: Request, now: float) -> None:
         """Release or retain the request's cache state."""

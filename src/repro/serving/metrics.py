@@ -15,11 +15,13 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.faults.plan import FaultCounters
+from repro.obs.flight import FlightEvent, FlightRecorder, NULL_FLIGHT, SloConfig
+from repro.obs.histogram import HistogramSet, NULL_HISTOGRAMS
 from repro.serving.request import Request
 
 __all__ = [
@@ -28,6 +30,7 @@ __all__ = [
     "MetricsCollector",
     "RequestRecord",
     "ServingStats",
+    "SloConfig",
     "StageTimings",
 ]
 
@@ -103,6 +106,9 @@ class RequestRecord:
     history_tokens: int
     output_tokens: int
     prefilled_tokens: int
+    #: Flight-recorder lifecycle timeline (bounded ring contents at
+    #: completion); empty unless the SLO layer is enabled.
+    events: Tuple[FlightEvent, ...] = ()
 
     @property
     def latency(self) -> float:
@@ -119,6 +125,16 @@ class RequestRecord:
         """Time to first token."""
         return self.first_token_time - self.arrival_time
 
+    @property
+    def mean_tbt(self) -> float:
+        """Mean time-between-tokens over the decode phase (0.0 for
+        single-token outputs, which have no inter-token gap)."""
+        if self.output_tokens <= 1:
+            return 0.0
+        return (self.finish_time - self.first_token_time) / (
+            self.output_tokens - 1
+        )
+
 
 @dataclass(frozen=True)
 class FailureRecord:
@@ -128,6 +144,8 @@ class FailureRecord:
     conv_id: int
     time: float
     reason: str
+    #: Flight-recorder timeline at failure time (SLO layer only).
+    events: Tuple[FlightEvent, ...] = ()
 
     def as_dict(self) -> dict:
         return {
@@ -183,6 +201,37 @@ class MetricsCollector:
         #: Degradation counters maintained by the engine's fault-recovery
         #: paths; all-zero when no fault plan is armed.
         self.faults = FaultCounters()
+        #: SLO observability sinks — null (allocation-free) by default;
+        #: :meth:`enable_slo` arms recording instances.
+        self.hist = NULL_HISTOGRAMS
+        self.flight = NULL_FLIGHT
+        self.slo: Optional[SloConfig] = None
+        #: Violation counts per objective kind (``ttft`` / ``tbt``).
+        self.slo_violations: Dict[str, int] = {}
+        #: Request ids that violated at least one objective.
+        self.slo_violated_requests: List[int] = []
+
+    def enable_slo(
+        self,
+        slo: Optional[SloConfig] = None,
+        hist: Optional[HistogramSet] = None,
+        flight: Optional[FlightRecorder] = None,
+    ) -> "MetricsCollector":
+        """Arm the SLO layer: streaming histograms, the per-request flight
+        recorder, and (optionally) TTFT/TBT objectives with slow-request
+        capture.  Idempotent; existing armed sinks are kept unless
+        replacements are passed explicitly."""
+        if hist is not None:
+            self.hist = hist
+        elif not self.hist.enabled:
+            self.hist = HistogramSet()
+        if flight is not None:
+            self.flight = flight
+        elif not self.flight.enabled:
+            self.flight = FlightRecorder()
+        if slo is not None:
+            self.slo = slo
+        return self
 
     def complete(self, request: Request) -> RequestRecord:
         """Record a finished request.
@@ -192,6 +241,9 @@ class MetricsCollector:
         """
         if request.finish_time is None or request.first_token_time is None:
             raise RuntimeError(f"request {request.request_id} is incomplete")
+        events: Tuple[FlightEvent, ...] = ()
+        if self.flight.enabled:
+            events = tuple(self.flight.finish(request.request_id))
         record = RequestRecord(
             request_id=request.request_id,
             conv_id=request.conv_id,
@@ -203,21 +255,69 @@ class MetricsCollector:
             history_tokens=request.history_tokens,
             output_tokens=request.output_tokens,
             prefilled_tokens=request.prefill_tokens,
+            events=events,
         )
         self._records.append(record)
+        if self.hist.enabled:
+            self.hist.hist("latency_seconds").record(record.latency)
+            self.hist.hist("norm_latency_seconds").record(
+                record.normalized_latency
+            )
+        if self.slo is not None and self.slo.armed:
+            violated = self.slo.violations(record.ttft, record.mean_tbt)
+            if violated:
+                for kind in violated:
+                    self.slo_violations[kind] = (
+                        self.slo_violations.get(kind, 0) + 1
+                    )
+                self.slo_violated_requests.append(record.request_id)
+                if self.flight.enabled:
+                    self.flight.capture(
+                        record.request_id,
+                        "slo:" + "+".join(violated),
+                        record.finish_time,
+                        events=list(events),
+                        conv_id=record.conv_id,
+                        ttft=round(record.ttft, 9),
+                        mean_tbt=round(record.mean_tbt, 9),
+                        output_tokens=record.output_tokens,
+                    )
         return record
 
     def fail(self, request: Request, now: float, reason: str) -> FailureRecord:
         """Record an individually-degraded request (it never completes, so
-        it would otherwise be invisible to the collector)."""
+        it would otherwise be invisible to the collector).  With the SLO
+        layer armed, every failure captures its flight timeline."""
+        events: Tuple[FlightEvent, ...] = ()
+        if self.flight.enabled:
+            events = tuple(self.flight.finish(request.request_id))
+            self.flight.capture(
+                request.request_id,
+                f"failed:{reason}",
+                now,
+                events=list(events),
+                conv_id=request.conv_id,
+            )
         record = FailureRecord(
             request_id=request.request_id,
             conv_id=request.conv_id,
             time=now,
             reason=reason,
+            events=events,
         )
         self._failures.append(record)
         return record
+
+    def slo_report(self) -> dict:
+        """Summary of the SLO layer's state (for CLI output and tests)."""
+        return {
+            "slo": self.slo.as_dict() if self.slo is not None else None,
+            "violations_by_kind": dict(self.slo_violations),
+            "violated_requests": len(self.slo_violated_requests),
+            "failed_requests": len(self._failures),
+            "captures": len(self.flight.captures),
+            "dropped_captures": getattr(self.flight, "dropped_captures", 0),
+        }
 
     @property
     def records(self) -> List[RequestRecord]:

@@ -106,6 +106,14 @@ class Request:
     #: Tokens the engine must actually prefill (set at admission: history
     #: for stateless engines, recompute+prompt for Pensieve).
     prefill_tokens: int = 0
+    #: When the previous output token landed (SLO layer: time-between-
+    #: tokens is measured per wait-free gap, so a suspension that requeues
+    #: the request shows up as one long gap, not a lost sample).
+    last_token_time: Optional[float] = None
+    #: When the request last (re-)entered the wait queue; queue wait is
+    #: measured per episode so re-admissions after a suspension don't
+    #: double-count the first wait.
+    last_enqueue_time: Optional[float] = None
 
     @property
     def conv_id(self) -> int:

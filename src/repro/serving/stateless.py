@@ -116,6 +116,7 @@ class StatelessEngine(EngineBase):
             request.prefill_done = False
             request.state = RequestState.RUNNING
             self.running.append(request)
+            self._note_batch_join(request, now)
             selected.append(request)
             batch_tokens += prefill
             self.trace.record(now, "admit", request_id=request.request_id,
@@ -138,9 +139,15 @@ class StatelessEngine(EngineBase):
         """Recompute-preemption: drop the victim's KV, requeue it."""
         freed = self._release(victim)
         victim.state = RequestState.WAITING
+        victim.last_enqueue_time = now
         self.running.remove(victim)
         # Re-admit before younger requests: push to the queue front.
         self.wait_queue.appendleft(victim)
+        if self.metrics.flight.enabled:
+            self.metrics.flight.record(
+                victim.request_id, "suspend", now, kind="preempt",
+                dropped_tokens=freed,
+            )
         self.trace.record(
             now, "preempt", request_id=victim.request_id, freed_tokens=freed
         )
