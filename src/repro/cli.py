@@ -48,23 +48,20 @@ def _fault_plan(args: argparse.Namespace):
     """Build a FaultPlan from ``--fault-seed`` / ``--fault-rate`` (or None)."""
     if getattr(args, "fault_seed", None) is None:
         return None
-    from repro.faults import FaultPlan, FaultSite
+    from repro.faults import SITES, FaultPlan, FaultSite
 
     rate = args.fault_rate
     if not 0.0 <= rate <= 1.0:
         raise SystemExit(f"--fault-rate must be in [0, 1], got {rate}")
+    # Every declared site is armed, scaled by its registry rate_scale
+    # (corruption-style sites run quieter than transfer-style sites).
+    # Disk-tier sites are only drawn when --disk-tokens configures a
+    # disk tier, harmless otherwise.
     return FaultPlan(
         seed=args.fault_seed,
         rates={
-            FaultSite.SWAP_IN: rate,
-            FaultSite.SWAP_OUT: rate,
-            FaultSite.GPU_ALLOC: rate,
-            FaultSite.CPU_READ: rate / 4,
-            FaultSite.WORKER_STEP: rate / 4,
-            # Disk-tier sites: only drawn when a disk tier is configured
-            # (--disk-tokens), harmless otherwise.
-            FaultSite.DISK_READ: rate / 4,
-            FaultSite.NVME_STALL: rate,
+            FaultSite(name): rate * spec.rate_scale
+            for name, spec in SITES.items()
         },
     )
 
@@ -574,6 +571,32 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint import Baseline, format_json, format_text, run_lint
+
+    baseline = Baseline.load(args.baseline)
+    result = run_lint(args.root, baseline=baseline)
+
+    if args.write_baseline:
+        Baseline.from_findings(result.errors).write(args.baseline)
+        print(
+            f"wrote {len(result.errors)} baseline entr(y/ies) to "
+            f"{args.baseline}"
+        )
+        return 0
+
+    output = (
+        format_json(result)
+        if args.json
+        else format_text(result, verbose=args.verbose)
+    )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(output)
+    print(output, end="")
+    return result.exit_code(strict=args.strict)
+
+
 def _add_sched_flags(parser: argparse.ArgumentParser, default_sched: str) -> None:
     """The decode-scheduling / packing-cache knob pair.
 
@@ -769,6 +792,32 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--output", default="EXPERIMENTS.md")
     report.add_argument("--duration", type=float, default=500.0)
     report.set_defaults(func=cmd_report)
+
+    lint = sub.add_parser(
+        "lint",
+        help="repo-specific static analysis (sim-clock purity, fault-site "
+             "coverage, hot-path allocation, ledger sync, kernel copies)",
+    )
+    lint.add_argument("--root", default=".",
+                      help="repo root to lint (default: cwd); scans "
+                           "<root>/src/repro")
+    lint.add_argument("--strict", action="store_true",
+                      help="also fail on stale baseline entries (CI mode)")
+    lint.add_argument("--json", action="store_true",
+                      help="emit the machine-readable JSON report")
+    lint.add_argument("--baseline", default="lint_baseline.json",
+                      metavar="PATH",
+                      help="baseline file of grandfathered findings "
+                           "(default: lint_baseline.json; missing = empty)")
+    lint.add_argument("--write-baseline", action="store_true",
+                      help="rewrite the baseline from the current unsup-"
+                           "pressed findings instead of reporting them")
+    lint.add_argument("--output", default=None, metavar="PATH",
+                      help="also write the report to this file (CI artifact)")
+    lint.add_argument("--verbose", action="store_true",
+                      help="include suppressed and baselined findings in "
+                           "the text report")
+    lint.set_defaults(func=cmd_lint)
 
     return parser
 

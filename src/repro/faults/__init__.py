@@ -23,6 +23,7 @@ from repro.faults.errors import (
 )
 from repro.faults.plan import FaultCounters, FaultPlan, FaultSite
 from repro.faults.retry import RetryPolicy, attempt_with_retries
+from repro.faults.sites import SITES, SiteSpec, site_names
 
 __all__ = [
     "ChunkCorruptionError",
@@ -33,6 +34,9 @@ __all__ = [
     "GpuAllocationFaultError",
     "RequestFaultedError",
     "RetryPolicy",
+    "SITES",
+    "SiteSpec",
     "TransferFaultError",
     "attempt_with_retries",
+    "site_names",
 ]

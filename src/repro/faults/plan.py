@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Mapping, Optional
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional
 
 import numpy as np
 
@@ -71,10 +71,10 @@ class FaultPlan:
             raise ValueError(f"stall_seconds must be >= 0, got {stall_seconds}")
         self.seed = seed
         self.rates = rates
-        self.schedules: Dict[FaultSite, frozenset] = {
+        self.schedules: Dict[FaultSite, FrozenSet[int]] = {
             site: frozenset(idx) for site, idx in (schedules or {}).items()
         }
-        self.max_failures = dict(max_failures or {})
+        self.max_failures: Dict[FaultSite, int] = dict(max_failures or {})
         self.stall_seconds = stall_seconds
         sites = list(FaultSite)
         self._rng = {
@@ -153,7 +153,7 @@ class FaultCounters:
     worker_stalls: int = 0
     nvme_stalls: int = 0
     disk_read_failures: int = 0
-    _extra: dict = field(default_factory=dict, repr=False)
+    _extra: Dict[str, int] = field(default_factory=dict, repr=False)
 
     def as_dict(self) -> Dict[str, int]:
         return {

@@ -29,6 +29,7 @@ Three pieces:
 """
 
 from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
+from repro.obs.walltime import StageTimings
 from repro.obs.histogram import (
     NULL_HISTOGRAM,
     NULL_HISTOGRAMS,
@@ -74,6 +75,7 @@ __all__ = [
     "NullTracer",
     "SloConfig",
     "Span",
+    "StageTimings",
     "Tracer",
     "ledger_counters",
     "parse_prometheus",

@@ -26,7 +26,7 @@ Design constraints mirror the tracer (ARCHITECTURE.md §9):
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 __all__ = [
     "Histogram",
@@ -120,7 +120,7 @@ class Histogram:
         if value > self._max:
             self._max = value
 
-    def record_many(self, values) -> None:
+    def record_many(self, values: Iterable[float]) -> None:
         for value in values:
             self.record(value)
 
@@ -276,7 +276,7 @@ class NullHistogram:
     def record(self, value: float) -> None:
         return None
 
-    def record_many(self, values) -> None:
+    def record_many(self, values: Iterable[float]) -> None:
         return None
 
     def buckets(self) -> List[Tuple[float, int]]:
@@ -308,7 +308,9 @@ class NullHistogramSet:
 
     enabled = False
 
-    def hist(self, name: str, clock: str = "sim", **labels: str) -> NullHistogram:
+    def hist(
+        self, name: str, clock: str = "sim", **labels: str
+    ) -> Union[NullHistogram, Histogram]:
         return NULL_HISTOGRAM
 
     def get(self, name: str, **labels: str) -> Optional[Histogram]:
@@ -318,6 +320,7 @@ class NullHistogramSet:
         return []
 
     def merge_from(self, other: "NullHistogramSet") -> None:
+        """No-op; accepts any set (``HistogramSet`` subclasses this)."""
         return None
 
     def total_count(self, name: str) -> int:
@@ -398,7 +401,7 @@ class HistogramSet(NullHistogramSet):
         """Exact value sum across all label variants of ``name``."""
         return sum(h.sum for h in self.named(name))
 
-    def merge_from(self, other: "HistogramSet") -> None:
+    def merge_from(self, other: "NullHistogramSet") -> None:
         """Merge every histogram of ``other`` into this set (creating
         missing ones); exact in counts and sums."""
         if not getattr(other, "enabled", False):

@@ -1,0 +1,75 @@
+"""Wall-clock stage accounting (``repro.obs.walltime``).
+
+:class:`StageTimings` measures *real* elapsed seconds with
+``time.perf_counter`` — unlike everything in the simulation layers, which
+runs on the modeled clock.  It therefore lives in ``repro.obs``: the
+observability and bench layers are the only packages permitted to touch
+the wall clock (``repro lint`` rule RPR001 enforces that the ``sim`` /
+``core`` / ``serving`` / ``kvcache`` / ``gpu`` trees stay wall-clock
+pure, which is what keeps seeded runs bit-reproducible).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = ["StageTimings"]
+
+
+@dataclass
+class StageTimings:
+    """Wall-clock accumulator for named serving stages.
+
+    Used by the performance harness (``repro bench``) to attribute real
+    elapsed time to pipeline stages (``prefill``, ``decode``, ``swap``,
+    ...) across repeated runs.  Unlike the simulation metrics, these are
+    measured seconds, not modelled ones.
+
+    Usage::
+
+        timings = StageTimings()
+        with timings.stage("decode"):
+            model.forward(batch)
+    """
+
+    totals: Dict[str, float] = field(default_factory=dict)
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    def stage(self, name: str) -> "_StageContext":
+        return _StageContext(self, name)
+
+    def add(self, name: str, seconds: float) -> None:
+        self.totals[name] = self.totals.get(name, 0.0) + seconds
+        self.counts[name] = self.counts.get(name, 0) + 1
+
+    def mean(self, name: str) -> float:
+        """Mean seconds per recorded occurrence of ``name``.
+
+        A stage that was never recorded has spent no time: returns 0.0
+        rather than raising on the missing key, so report code can probe
+        optional stages (``swap``, ``recompute``) unconditionally.
+        """
+        count = self.counts.get(name, 0)
+        if count == 0:
+            return 0.0
+        return self.totals[name] / count
+
+    def as_dict(self) -> Dict[str, float]:
+        """Total seconds per stage, stage names sorted."""
+        return {name: self.totals[name] for name in sorted(self.totals)}
+
+
+class _StageContext:
+    def __init__(self, timings: StageTimings, name: str) -> None:
+        self._timings = timings
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_StageContext":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._timings.add(self._name, time.perf_counter() - self._start)

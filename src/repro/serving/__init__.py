@@ -15,6 +15,7 @@ The stateful Pensieve engine lives in :mod:`repro.core.engine` and builds
 on the same primitives.
 """
 
+from repro.serving import metric_names
 from repro.serving.request import Conversation, Request, RequestState, Turn
 from repro.serving.metrics import MetricsCollector, RequestRecord, ServingStats
 from repro.serving.batching import BatchConfig
@@ -22,6 +23,7 @@ from repro.serving.engine import EngineBase
 from repro.serving.stateless import StatelessEngine, make_tensorrt_llm, make_vllm
 
 __all__ = [
+    "metric_names",
     "Request",
     "RequestState",
     "Conversation",

@@ -238,6 +238,8 @@ class EngineBase:
         """Emit the iteration span, its prefill/decode sub-spans, and the
         per-iteration gauges.  Only called with a recording tracer."""
         tracer = self.tracer
+        if not tracer.enabled:
+            return
         prefill = [r for r in batch if not r.prefill_done]
         n_decode = len(batch) - len(prefill)
         span = tracer.complete(

@@ -17,7 +17,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Optional, Tuple
 
 from repro.obs.tracer import NULL_TRACER
 from repro.sim.clock import Clock
@@ -38,7 +38,7 @@ class Event:
     time: float
     seq: int
     callback: Callable[..., None] = field(compare=False)
-    args: tuple = field(compare=False, default=())
+    args: Tuple[Any, ...] = field(compare=False, default=())
     cancelled: bool = field(compare=False, default=False)
 
     def cancel(self) -> None:

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Counter as CounterT, Dict, Iterator, List, Optional
 
 
 @dataclass(frozen=True)
@@ -39,8 +39,8 @@ class TraceRecorder:
     def __init__(self, keep_events: bool = True) -> None:
         self._keep_events = keep_events
         self._events: List[TraceEvent] = []
-        self._counts: Counter = Counter()
-        self._sums: Counter = Counter()
+        self._counts: CounterT[str] = Counter()
+        self._sums: Dict[str, float] = {}
 
     def record(self, time: float, kind: str, **data: Any) -> None:
         """Record one event of ``kind`` at ``time`` with payload ``data``.
@@ -51,7 +51,8 @@ class TraceRecorder:
         self._counts[kind] += 1
         for key, value in data.items():
             if isinstance(value, (int, float)) and not isinstance(value, bool):
-                self._sums[f"{kind}.{key}"] += value
+                sum_key = f"{kind}.{key}"
+                self._sums[sum_key] = self._sums.get(sum_key, 0.0) + value
         if self._keep_events:
             self._events.append(TraceEvent(time=time, kind=kind, data=dict(data)))
 
@@ -61,7 +62,7 @@ class TraceRecorder:
 
     def total(self, kind: str, key: str) -> float:
         """Sum of the numeric payload ``key`` across all events of ``kind``."""
-        return self._sums[f"{kind}.{key}"]
+        return self._sums.get(f"{kind}.{key}", 0.0)
 
     def events(self, kind: Optional[str] = None) -> Iterator[TraceEvent]:
         """Iterate stored events, optionally filtered by ``kind``."""

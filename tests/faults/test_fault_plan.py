@@ -5,6 +5,7 @@ import dataclasses
 import pytest
 
 from repro.faults import (
+    SITES,
     ChunkCorruptionError,
     FaultCounters,
     FaultError,
@@ -13,9 +14,32 @@ from repro.faults import (
     GpuAllocationFaultError,
     RequestFaultedError,
     RetryPolicy,
+    SiteSpec,
     TransferFaultError,
     attempt_with_retries,
+    site_names,
 )
+
+
+class TestSiteRegistry:
+    """The SITES registry is the single source of truth for fault-site
+    wire names; the enum, the CLI and the lint rule all derive from it."""
+
+    def test_registry_matches_enum_in_order(self):
+        # Order matters: per-site RNG streams derive from the ordinal.
+        assert site_names() == tuple(s.value for s in FaultSite)
+
+    def test_specs_are_self_consistent(self):
+        for name, spec in SITES.items():
+            assert isinstance(spec, SiteSpec)
+            assert spec.name == name
+            assert spec.tier
+            assert 0.0 < spec.rate_scale <= 1.0
+            assert spec.description
+
+    def test_every_registry_name_constructs_a_site(self):
+        for name in site_names():
+            assert FaultSite(name).value == name
 
 
 class TestFaultPlanDeterminism:

@@ -1,0 +1,18 @@
+"""Shared helpers for the lint-framework tests."""
+
+from pathlib import Path
+
+import pytest
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture
+def fixture_root():
+    def _root(name: str) -> str:
+        path = FIXTURES / name
+        assert path.is_dir(), f"missing fixture tree {name}"
+        return str(path)
+
+    return _root

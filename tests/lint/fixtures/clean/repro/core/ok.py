@@ -1,0 +1,5 @@
+"""A violation-free fixture tree."""
+
+
+def tidy(clock):
+    return clock.now

@@ -1,0 +1,7 @@
+"""RPR001 negative fixture: obs/ may read the wall clock."""
+
+import time
+
+
+def now():
+    return time.perf_counter()

@@ -1,0 +1,18 @@
+"""RPR001 positive fixture: wall-clock reads in sim-pure code."""
+
+import time
+from time import perf_counter
+from datetime import datetime
+
+
+def bad_now():
+    return time.time()
+
+
+def bad_stamp():
+    return datetime.now()
+
+
+def ok_sleepless(clock):
+    # Simulated clock reads are fine.
+    return clock.now

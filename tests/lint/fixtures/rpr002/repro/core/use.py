@@ -1,0 +1,12 @@
+"""RPR002 positive fixture: every mis-use the rule must catch."""
+
+from repro.faults.plan import FaultSite
+
+
+def bad(plan, flight, policy):
+    plan.fires(FaultSite.SWAP_IN)  # raw draw outside the ladder
+    FaultSite("bogus")  # unknown wire name
+    member = FaultSite.BOGUS  # unknown member
+    flight.record(1, "retry", 0.0, site="bogus")  # unknown attribution
+    attempt_with_retries(plan, "swap_in", policy)  # string site
+    return member

@@ -1,0 +1,7 @@
+"""RPR002 negative fixture: ladder-owner module may draw fires()."""
+
+from repro.faults.plan import FaultSite
+
+
+def drained(plan):
+    return plan.fires(FaultSite.SWAP_IN)

@@ -1,0 +1,8 @@
+"""RPR002 fixture enum (mirrors the real FaultSite shape)."""
+
+import enum
+
+
+class FaultSite(enum.Enum):
+    SWAP_IN = "swap_in"
+    GPU_ALLOC = "gpu_alloc"

@@ -1,0 +1,6 @@
+"""RPR002 fixture registry, in sync with the fixture enum."""
+
+SITES = {
+    "swap_in": ("pcie",),
+    "gpu_alloc": ("gpu",),
+}

@@ -1,0 +1,8 @@
+"""RPR002 drift fixture: enum has a member the registry lacks."""
+
+import enum
+
+
+class FaultSite(enum.Enum):
+    SWAP_IN = "swap_in"
+    GPU_ALLOC = "gpu_alloc"

@@ -1,0 +1,5 @@
+"""RPR002 drift fixture registry: missing gpu_alloc."""
+
+SITES = {
+    "swap_in": ("pcie",),
+}

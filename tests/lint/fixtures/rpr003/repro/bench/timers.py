@@ -1,0 +1,5 @@
+"""RPR003 negative fixture: bench/ is outside the hot-path scope."""
+
+
+def report(tracer, label, n):
+    tracer.count(f"bench.{label}", n)

@@ -1,0 +1,15 @@
+"""RPR004 fixture recorder: declared and undeclared names."""
+
+
+class Collector:
+    def ok(self, now):
+        if self.hist.enabled:
+            self.hist.hist("latency_seconds").record(1.0)
+            self.hist.hist("chat_turn_seconds", clock="wall").record(1.0)
+        self.flight.record(1, "admit", now)
+
+    def bad(self, now):
+        if self.hist.enabled:
+            self.hist.hist("typo_metric").record(1.0)
+            self.hist.hist("latency_seconds", tier="tpu").record(1.0)
+        self.flight.record(1, "bogus_event", now)

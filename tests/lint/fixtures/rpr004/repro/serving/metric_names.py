@@ -1,0 +1,16 @@
+"""RPR004 fixture registry."""
+
+HISTOGRAM_NAMES = frozenset(
+    {
+        "latency_seconds",
+        "dead_metric",
+    }
+)
+
+WALL_HISTOGRAM_NAMES = frozenset({"chat_turn_seconds"})
+
+HISTOGRAM_TIERS = frozenset({"cpu"})
+
+FLIGHT_EVENTS = frozenset({"admit"})
+
+SAMPLED_HISTOGRAMS = frozenset({"unsampled_metric"})

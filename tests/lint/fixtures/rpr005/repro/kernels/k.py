@@ -1,0 +1,23 @@
+"""RPR005 fixtures: copies inside vs outside kernel loops."""
+
+import numpy as np
+
+
+def bad_loop(xs, cache):
+    out = []
+    for x in xs:
+        out.append(np.ascontiguousarray(cache[x]))
+        staged = cache[x].copy()
+        out.append(staged)
+    return out
+
+
+def bad_comprehension(xs, cache):
+    return [np.concatenate([cache[x]]) for x in xs]
+
+
+def good_hoisted(xs, cache):
+    gathered = cache[np.asarray(xs)]
+    staged = np.ascontiguousarray(gathered)
+    parts = [staged[i] for i in range(len(xs))]
+    return np.concatenate(parts, axis=0)

@@ -1,0 +1,21 @@
+"""Suppression fixtures: justified, bare, and stale."""
+
+import numpy as np
+
+
+def justified(xs, cache):
+    out = []
+    for x in xs:
+        out.append(np.ascontiguousarray(cache[x]))  # repro: ignore[RPR005] -- fixture models the copy deliberately
+    return out
+
+
+def bare(xs, cache):
+    out = []
+    for x in xs:
+        out.append(np.ascontiguousarray(cache[x]))  # repro: ignore[RPR005]
+    return out
+
+
+def stale(xs):
+    return list(xs)  # repro: ignore[RPR005] -- nothing to suppress here

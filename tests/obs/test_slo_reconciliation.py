@@ -35,6 +35,7 @@ from repro.obs import (
     parse_prometheus,
     prometheus_snapshot,
 )
+from repro.serving import metric_names
 
 from tests.serving.conftest import TINY, scripted_conversation, spec_with_capacity
 
@@ -90,14 +91,12 @@ class TestLedgerIdentities:
         assert not engine.metrics.failures
         assert engine.nvme.bytes_moved[NvmeDirection.READ] > 0
         assert engine.manager.stats["recomputed_tokens"] > 0
-        for name, tier in (
-            ("swap_in_seconds", "cpu"),
-            ("swap_in_seconds", "disk"),
-            ("swap_out_seconds", "cpu"),
-            ("swap_out_seconds", "disk"),
-        ):
-            found = hist.get(name, tier=tier)
-            assert found is not None and found.count > 0, (name, tier)
+        # Every swap histogram × every declared tier label: the registry
+        # (not a re-declared literal list) drives the coverage matrix.
+        for name in ("swap_in_seconds", "swap_out_seconds"):
+            for tier in sorted(metric_names.HISTOGRAM_TIERS):
+                found = hist.get(name, tier=tier)
+                assert found is not None and found.count > 0, (name, tier)
 
     def test_cpu_swap_in_count_matches_pcie_and_flight(self, armed_run):
         engine, _, hist, flight = armed_run
@@ -168,6 +167,19 @@ class TestLedgerIdentities:
         assert engine.metrics.faults.retries == 0
         assert flight.event_count("retry") == 0
         assert flight.event_count("fault") == 0
+
+    def test_recorded_names_are_declared(self, armed_run):
+        """Everything this real run recorded is in the declared registry
+        (``repro.serving.metric_names``) — the dynamic complement of the
+        static RPR004 lint rule."""
+        _, _, hist, flight = armed_run
+        declared = metric_names.all_histogram_names()
+        for h in hist.all():
+            assert h.name in declared, h.name
+            tier = h.labels.get("tier")
+            assert tier is None or tier in metric_names.HISTOGRAM_TIERS
+        seen_events = {key.split(".")[0] for key in flight.event_counts}
+        assert seen_events <= metric_names.FLIGHT_EVENTS
 
 
 class TestPrometheusSelfReconciliation:
