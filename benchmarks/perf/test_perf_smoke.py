@@ -22,7 +22,7 @@ def test_quick_suite_equivalent_and_schema_stable(tmp_path):
     families = {x.family for x in results}
     assert families == {
         "decode", "prefill", "mixed", "e2e", "storage", "swap", "disk", "idle",
-        "packing", "decode_sched",
+        "packing", "decode_sched", "backend",
     }
     assert all(x.equivalent for x in results), format_table(results)
     assert all(x.max_abs_diff <= TOLERANCE for x in results)
@@ -47,6 +47,11 @@ def test_quick_suite_equivalent_and_schema_stable(tmp_path):
     assert packing and all(x.max_abs_diff == 0.0 for x in packing)
     sched = [x for x in results if x.family == "decode_sched"]
     assert sched and all(x.max_abs_diff == 0.0 for x in sched)
+    # Both non-default backends appear: the paged-ring A/B and the
+    # contiguous-allocator coverage row, each oracle-checked in-run.
+    backend = [x for x in results if x.family == "backend"]
+    assert any(x.name.startswith("backend/paged-ring/") for x in backend)
+    assert any(x.name.startswith("backend/contiguous/") for x in backend)
 
     summary = summarize(results)
     assert summary["all_equivalent"] is True

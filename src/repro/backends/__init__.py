@@ -1,0 +1,93 @@
+"""Registry of named kernel/allocator backends (``--backend``).
+
+Three backends ship (see ARCHITECTURE.md §15):
+
+- ``paged`` — the historical behavior, bit-identical, the default;
+- ``paged-ring`` — same block tables, ring-compacted contiguous packed
+  staging (:mod:`repro.kernels.ring_cache`);
+- ``contiguous`` — vAttention-style contiguous virtual extents with
+  page-granular commits (:mod:`repro.kvcache.contiguous`).
+
+Selection precedence: an explicit name (CLI flag / constructor arg)
+beats the ``REPRO_BACKEND`` environment variable, which beats the
+``paged`` default.  CI runs the tier-1 matrix once with
+``REPRO_BACKEND=paged-ring`` so the alternate layout is continuously
+exercised.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Tuple, Type
+
+from repro.backends.base import Backend, PagedAllocator, SlotAllocator
+from repro.backends.contiguous import ContiguousBackend
+from repro.backends.paged import PagedBackend
+from repro.backends.ring import PagedRingBackend
+
+__all__ = [
+    "Backend",
+    "ContiguousBackend",
+    "DEFAULT_BACKEND",
+    "PagedAllocator",
+    "PagedBackend",
+    "PagedRingBackend",
+    "SlotAllocator",
+    "backend_names",
+    "get_backend",
+    "register",
+    "resolve_backend",
+]
+
+#: Name used when neither the caller nor the environment picks one.
+DEFAULT_BACKEND = "paged"
+
+_REGISTRY: Dict[str, Backend] = {}
+
+
+def register(backend_cls: Type[Backend]) -> Type[Backend]:
+    """Register a backend class under its ``name`` (import-time hook).
+
+    Backends are stateless — per-run state (decode caches, allocators)
+    is created through factory methods — so one shared instance per name
+    is sufficient.
+    """
+    if not backend_cls.name:
+        raise ValueError(f"{backend_cls.__name__} has no backend name")
+    if backend_cls.name in _REGISTRY:
+        raise ValueError(f"backend {backend_cls.name!r} already registered")
+    _REGISTRY[backend_cls.name] = backend_cls()
+    return backend_cls
+
+
+def backend_names() -> Tuple[str, ...]:
+    """Registered backend names, registration order."""
+    return tuple(_REGISTRY)
+
+
+def get_backend(name: str) -> Backend:
+    """The registered backend called ``name``.
+
+    Raises:
+        ValueError: for an unknown name (listing the legal ones).
+    """
+    backend = _REGISTRY.get(name)
+    if backend is None:
+        raise ValueError(
+            f"unknown backend {name!r}; registered: {backend_names()}"
+        )
+    return backend
+
+
+def resolve_backend(name: "str | None" = None) -> str:
+    """Resolve the effective backend name: explicit ``name`` >
+    ``REPRO_BACKEND`` env var > :data:`DEFAULT_BACKEND`.  Validates the
+    result against the registry."""
+    resolved = name or os.environ.get("REPRO_BACKEND") or DEFAULT_BACKEND
+    get_backend(resolved)
+    return resolved
+
+
+register(PagedBackend)
+register(PagedRingBackend)
+register(ContiguousBackend)

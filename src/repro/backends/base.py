@@ -1,0 +1,156 @@
+"""The backend interface: one object owning kernels *and* layout.
+
+A backend bundles the two decisions the functional serving stack used to
+make implicitly and separately:
+
+- **which attention kernels run** — the decode packing cache class and
+  the packed-decode entry point, plus the shared prefill/mixed kernels;
+- **where KV slots come from** — the slot allocator whose tables map
+  logical token positions to flat storage slots.
+
+:class:`~repro.model.transformer.PagedTransformer` and
+:class:`~repro.core.server.StatefulChatServer` reach every attention
+kernel *through* their backend (enforced by lint rule RPR006), so
+swapping ``--backend`` swaps the whole kernel/layout pair atomically and
+the cross-backend equivalence matrix in the bench harness stays the
+single source of numerical truth.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Protocol, Sequence
+
+import numpy as np
+
+from repro.kernels import (
+    AttentionRequest,
+    batched_single_token_attention,
+    multi_token_attention,
+    ragged_multi_token_attention,
+)
+from repro.kernels.packed_cache import PackedBatch, PackedDecodeCache
+from repro.kvcache.pages import BlockTable, PagePool
+
+__all__ = ["Backend", "PagedAllocator", "SlotAllocator"]
+
+
+class SlotAllocator(Protocol):
+    """What a backend's allocator must provide to the serving layer."""
+
+    @property
+    def storage_slots(self) -> int:
+        """Flat KV-storage slots the allocator's tables may address."""
+        ...
+
+    def new_table(self) -> BlockTable:
+        """A fresh (possibly layout-specialised) block table."""
+        ...
+
+    def stats(self) -> Dict[str, int]:
+        """Allocator counters for experiment metadata."""
+        ...
+
+
+class PagedAllocator:
+    """The default allocator: plain pool-backed block tables."""
+
+    def __init__(self, pool: PagePool) -> None:
+        self.pool = pool
+
+    @property
+    def storage_slots(self) -> int:
+        return self.pool.capacity_tokens
+
+    def new_table(self) -> BlockTable:
+        return BlockTable(self.pool)
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "allocated_pages": self.pool.num_allocated_pages,
+            "free_pages": self.pool.num_free_pages,
+        }
+
+
+class Backend:
+    """Base class for registered backends.
+
+    Subclasses override the decode-cache/attention/allocator trio; the
+    shared prefill and mixed-batch kernels are identical across today's
+    backends and are exposed here so callers never import
+    ``repro.kernels`` attention functions directly.
+    """
+
+    #: Registry key (the ``--backend`` value).
+    name: str = ""
+    #: One-line description for ``--help`` and docs.
+    summary: str = ""
+
+    # -- the varying trio ---------------------------------------------- #
+
+    def create_decode_cache(self) -> PackedDecodeCache:
+        """The incremental decode packing cache this backend stages
+        gathered KV in."""
+        raise NotImplementedError
+
+    def decode_attention(
+        self,
+        queries: np.ndarray,
+        batch: PackedBatch,
+        layer_key: object,
+        k_cache: np.ndarray,
+        v_cache: np.ndarray,
+        scale: float = 0.0,
+    ) -> np.ndarray:
+        """Single-token decode attention over this backend's packed
+        batch (``[n, num_heads, head_dim]`` in and out)."""
+        raise NotImplementedError
+
+    def create_allocator(
+        self, pool: PagePool, reserve_tokens: int, max_tables: int
+    ) -> SlotAllocator:
+        """The slot allocator backing this backend's block tables.
+
+        Args:
+            pool: the shared page pool (always the capacity budget).
+            reserve_tokens: per-table contiguous reservation, for
+                backends that reserve virtual extents; page-layout
+                backends ignore it.
+            max_tables: upper bound on concurrently live tables.
+        """
+        raise NotImplementedError
+
+    # -- shared kernel entry points ------------------------------------ #
+
+    def multi_token_attention(
+        self,
+        requests: Sequence[AttentionRequest],
+        k_cache: np.ndarray,
+        v_cache: np.ndarray,
+        scale: float = 0.0,
+    ) -> List[np.ndarray]:
+        """Prefill / recompute attention (per-request, multi-token)."""
+        return multi_token_attention(requests, k_cache, v_cache, scale)
+
+    def batched_decode_attention(
+        self,
+        requests: Sequence[AttentionRequest],
+        k_cache: np.ndarray,
+        v_cache: np.ndarray,
+        scale: float = 0.0,
+    ) -> List[np.ndarray]:
+        """Fused single-token decode for a whole batch (no packing
+        cache involved — the cold path)."""
+        return batched_single_token_attention(requests, k_cache, v_cache, scale)
+
+    def ragged_attention(
+        self,
+        requests: Sequence[AttentionRequest],
+        k_cache: np.ndarray,
+        v_cache: np.ndarray,
+        scale: float = 0.0,
+    ) -> List[np.ndarray]:
+        """Fused mixed prefill+decode attention for a ragged batch."""
+        return ragged_multi_token_attention(requests, k_cache, v_cache, scale)
+
+    def __repr__(self) -> str:
+        return f"<Backend {self.name!r}: {self.summary}>"

@@ -1,0 +1,53 @@
+"""The ``contiguous`` backend: vAttention-style virtual extents."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backends.base import Backend
+from repro.kernels.packed_cache import (
+    PackedBatch,
+    PackedDecodeCache,
+    packed_decode_attention,
+)
+from repro.kvcache.contiguous import ContiguousArena
+from repro.kvcache.pages import PagePool
+
+__all__ = ["ContiguousBackend"]
+
+
+class ContiguousBackend(Backend):
+    """Per-conversation contiguous virtual extents with page-granular
+    commits (see :mod:`repro.kvcache.contiguous`).
+
+    Kernels are shared with ``paged`` — slot indices just happen to be
+    contiguous runs — so the backend's value is its allocator
+    accounting: commit/decommit counters, commit-waste and
+    reserved-uncommitted fragmentation quantify the tradeoff against the
+    paged layout."""
+
+    name = "contiguous"
+    summary = "vAttention-style contiguous extents, page-granular commits"
+
+    def create_decode_cache(self) -> PackedDecodeCache:
+        return PackedDecodeCache()
+
+    def decode_attention(
+        self,
+        queries: np.ndarray,
+        batch: PackedBatch,
+        layer_key: object,
+        k_cache: np.ndarray,
+        v_cache: np.ndarray,
+        scale: float = 0.0,
+    ) -> np.ndarray:
+        return packed_decode_attention(
+            queries, batch, layer_key, k_cache, v_cache, scale
+        )
+
+    def create_allocator(
+        self, pool: PagePool, reserve_tokens: int, max_tables: int
+    ) -> ContiguousArena:
+        return ContiguousArena(
+            pool, reserve_tokens=reserve_tokens, max_extents=max_tables
+        )

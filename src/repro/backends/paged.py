@@ -1,0 +1,48 @@
+"""The ``paged`` backend: today's behavior, bit-identical, the default."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backends.base import Backend, PagedAllocator
+from repro.kernels.packed_cache import (
+    PackedBatch,
+    PackedDecodeCache,
+    packed_decode_attention,
+)
+from repro.kvcache.pages import PagePool
+
+__all__ = ["PagedBackend"]
+
+
+class PagedBackend(Backend):
+    """Paged block tables + the natural-layout packed decode cache.
+
+    This is the repo's historical fast path exactly as it was before
+    backends existed: any change here shows up as a cross-backend
+    equivalence failure *and* as a diff against the per-request oracle.
+    """
+
+    name = "paged"
+    summary = "paged block tables, natural-layout packed staging (default)"
+
+    def create_decode_cache(self) -> PackedDecodeCache:
+        return PackedDecodeCache()
+
+    def decode_attention(
+        self,
+        queries: np.ndarray,
+        batch: PackedBatch,
+        layer_key: object,
+        k_cache: np.ndarray,
+        v_cache: np.ndarray,
+        scale: float = 0.0,
+    ) -> np.ndarray:
+        return packed_decode_attention(
+            queries, batch, layer_key, k_cache, v_cache, scale
+        )
+
+    def create_allocator(
+        self, pool: PagePool, reserve_tokens: int, max_tables: int
+    ) -> PagedAllocator:
+        return PagedAllocator(pool)

@@ -1,0 +1,44 @@
+"""The ``paged-ring`` backend: paged tables, ring-compacted staging."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backends.base import Backend, PagedAllocator
+from repro.kernels.packed_cache import PackedBatch
+from repro.kernels.ring_cache import RingDecodeCache, ring_decode_attention
+from repro.kvcache.pages import PagePool
+
+__all__ = ["PagedRingBackend"]
+
+
+class PagedRingBackend(Backend):
+    """Same block tables as ``paged``; the decode cache stages K/V in
+    the score-ready ring layout so ``segment_masked_decode``'s matmuls
+    consume contiguous BLAS operands (see
+    :mod:`repro.kernels.ring_cache`).  Prefill and mixed batches are
+    untouched — only the packed decode path changes."""
+
+    name = "paged-ring"
+    summary = "paged block tables, ring-compacted contiguous staging"
+
+    def create_decode_cache(self) -> RingDecodeCache:
+        return RingDecodeCache()
+
+    def decode_attention(
+        self,
+        queries: np.ndarray,
+        batch: PackedBatch,
+        layer_key: object,
+        k_cache: np.ndarray,
+        v_cache: np.ndarray,
+        scale: float = 0.0,
+    ) -> np.ndarray:
+        return ring_decode_attention(
+            queries, batch, layer_key, k_cache, v_cache, scale
+        )
+
+    def create_allocator(
+        self, pool: PagePool, reserve_tokens: int, max_tables: int
+    ) -> PagedAllocator:
+        return PagedAllocator(pool)

@@ -8,6 +8,7 @@ consumed by CI and tracked across PRs.
 """
 
 from repro.bench.harness import (
+    BACKEND_MIN_SPEEDUP,
     BenchResult,
     DECODE_SCHED_MIN_SPEEDUP,
     HISTORY_CAP,
@@ -32,6 +33,7 @@ from repro.bench.watchdog import (
 )
 
 __all__ = [
+    "BACKEND_MIN_SPEEDUP",
     "BenchResult",
     "DECODE_SCHED_MIN_SPEEDUP",
     "FAMILY_KEYS",

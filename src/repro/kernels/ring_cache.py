@@ -1,0 +1,198 @@
+"""Ring-compacted packed staging (the ``paged-ring`` backend's kernel).
+
+:class:`~repro.kernels.packed_cache.PackedDecodeCache` stages gathered
+K/V as ``[rows, ctx, kv_heads, head_dim]`` — the natural gather order —
+but :func:`~repro.kernels.batched.segment_masked_decode` then consumes
+them through ``transpose(0, 2, 3, 1)`` / ``transpose(0, 2, 1, 3)``
+views whose per-head matrices are not valid BLAS operands, so every
+decode matmul re-buffers the full staged context (PR 7's recorded
+headroom).
+
+:class:`RingDecodeCache` keeps the exact packed-table lifecycle
+(extend / repair / rebuild, same stats, same budget fallback) but lays
+each layer's staging out **score-ready**:
+
+- K: ``[rows, kv_heads, head_dim, ctx]`` — context is the *last* axis,
+  so ``scores = q @ k`` needs no transpose and each ``(head_dim, ctx)``
+  matrix is a leading-dimension-strided BLAS operand even after the
+  ``:max_len`` column slice;
+- V: ``[rows, kv_heads, ctx, head_dim]`` — so ``out = weights @ v``
+  consumes it directly.
+
+Extend writes land in place at the ring head (the row's current
+``gathered`` column); repair/rebuild re-compact the row from column 0,
+exactly like the base cache.  The ring layout changes *where* staged
+bytes live, never *which* slots are staged — numerics match the
+per-request oracle to ~1e-12 (``tests/backends/test_ring_cache.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Tuple
+
+import numpy as np
+
+from repro.kernels.batched import _grouped_heads
+from repro.kernels.packed_cache import (
+    PackedBatch,
+    PackedDecodeCache,
+    _LayerStaging,
+)
+from repro.kernels.reference import resolve_scale
+
+__all__ = ["RingDecodeCache", "ring_decode_attention"]
+
+
+class RingDecodeCache(PackedDecodeCache):
+    """A :class:`PackedDecodeCache` whose staging buffers are
+    ring-compacted into the layout ``segment_masked_decode``'s matmuls
+    actually consume.  Only the staging-layout hooks differ; packing
+    metadata, lifecycle bookkeeping and stats are inherited unchanged.
+    """
+
+    def _new_staging(
+        self,
+        tail_shape: Tuple[int, ...],
+        k_dtype: np.dtype,
+        v_dtype: np.dtype,
+    ) -> _LayerStaging:
+        kv_heads, head_dim = tail_shape
+        return _LayerStaging(
+            k=np.zeros(
+                (self._rows_cap, kv_heads, head_dim, self._ctx_cap),
+                dtype=k_dtype,
+            ),
+            v=np.zeros(
+                (self._rows_cap, kv_heads, self._ctx_cap, head_dim),
+                dtype=v_dtype,
+            ),
+            gathered=np.zeros(self._rows_cap, dtype=np.int64),
+        )
+
+    def _staging_tail(self, staging: _LayerStaging) -> Tuple[int, ...]:
+        # K is [rows, kv_heads, head_dim, ctx].
+        return staging.k.shape[1:3]
+
+    def _grow_staging_ctx(self, st: _LayerStaging, new_ctx: int) -> None:
+        kv_heads, head_dim = st.k.shape[1], st.k.shape[2]
+        k = np.zeros(
+            (self._rows_cap, kv_heads, head_dim, new_ctx), dtype=st.k.dtype
+        )
+        v = np.zeros(
+            (self._rows_cap, kv_heads, new_ctx, head_dim), dtype=st.v.dtype
+        )
+        k[..., : self._ctx_cap] = st.k
+        v[:, :, : self._ctx_cap] = st.v
+        st.k, st.v = k, v
+
+    def _gather_columns(
+        self,
+        staging: _LayerStaging,
+        stale: np.ndarray,
+        done: np.ndarray,
+        lengths: np.ndarray,
+        k_cache: np.ndarray,
+        v_cache: np.ndarray,
+    ) -> None:
+        deltas = lengths[stale] - done[stale]
+        if bool((deltas == 1).all()):
+            # Ring-head write: the one new slot per row lands in place at
+            # each row's current compaction head.  Advanced indices at
+            # the outer axes broadcast the [m, kv, d] gather across the
+            # slice dimensions in between.
+            cols = done[stale]
+            slots = self._table[stale, cols]
+            staging.k[stale, :, :, cols] = k_cache[slots]
+            staging.v[stale, :, cols] = v_cache[slots]
+        else:
+            for row in stale:
+                a, b = int(done[row]), int(lengths[row])
+                slots = self._table[row, a:b]
+                staging.k[row, :, :, a:b] = k_cache[slots].transpose(1, 2, 0)
+                staging.v[row, :, a:b] = v_cache[slots].transpose(1, 0, 2)
+
+    def _staged_views(
+        self, staging: _LayerStaging, n: int, max_len: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        return staging.k[:n, :, :, :max_len], staging.v[:n, :, :max_len]
+
+    def _fallback_gather(
+        self, n: int, max_len: int, k_cache: np.ndarray, v_cache: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        table = self._table[:n, :max_len]
+        # Transposed *views* of the fresh gather — the kernel contract is
+        # the ring layout, contiguity is only a fast-path property.
+        return (
+            k_cache[table].transpose(0, 2, 3, 1),
+            v_cache[table].transpose(0, 2, 1, 3),
+        )
+
+
+def _ring_masked_decode(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    lengths: np.ndarray,
+    scale: float,
+) -> np.ndarray:
+    """:func:`~repro.kernels.batched.segment_masked_decode`'s exact math
+    on pre-transposed (ring-layout) operands.
+
+    Args:
+        q: ``[n, kv_heads, group, head_dim]`` grouped-head query view.
+        k: ``[n, kv_heads, head_dim, C]`` ring-staged keys.
+        v: ``[n, kv_heads, C, head_dim]`` ring-staged values.
+        lengths: ``[n]`` valid context length per row.
+        scale: resolved score scale.
+
+    Returns:
+        ``[n, kv_heads, group, head_dim]`` attention outputs.
+    """
+    scores = q @ k  # [n, kv, g, C] — contiguous BLAS operands, no views
+    scores *= scale
+    max_context = k.shape[3]
+    if bool((lengths != max_context).any()):
+        valid = np.arange(max_context)[None, :] < lengths[:, None]
+        scores = np.where(valid[:, None, None, :], scores, -np.inf)
+
+    scores -= scores.max(axis=-1, keepdims=True)
+    weights = np.exp(scores, out=scores)
+    weights /= weights.sum(axis=-1, keepdims=True)
+
+    return weights @ v  # [n, kv, g, head_dim]
+
+
+def ring_decode_attention(
+    queries: np.ndarray,
+    batch: PackedBatch,
+    layer_key: Hashable,
+    k_cache: np.ndarray,
+    v_cache: np.ndarray,
+    scale: float = 0.0,
+) -> np.ndarray:
+    """Single-token decode attention over a ring-staged packed batch.
+
+    Numerically identical to
+    :func:`~repro.kernels.packed_cache.packed_decode_attention` — the
+    softmax math is the same; the ring layout only removes the operand
+    transposes (and therefore the per-matmul BLAS re-buffering).
+
+    Args:
+        queries: ``[n, num_heads, head_dim]`` newest-token queries in row
+            order.
+        batch: the view returned by the most recent
+            :meth:`RingDecodeCache.pack`.
+        layer_key: identifies the (k_cache, v_cache) pair across calls.
+
+    Returns:
+        ``[n, num_heads, head_dim]`` attention outputs.
+    """
+    n, num_heads, head_dim = queries.shape
+    if n != batch.n:
+        raise ValueError(f"query batch {n} does not match packed batch {batch.n}")
+    kv_heads = k_cache.shape[1]
+    group = _grouped_heads(num_heads, kv_heads)
+    k, v = batch.gathered(layer_key, k_cache, v_cache)
+    q = np.ascontiguousarray(queries).reshape(n, kv_heads, group, head_dim)
+    out = _ring_masked_decode(q, k, v, batch.lengths, resolve_scale(scale, head_dim))
+    return out.reshape(n, num_heads, head_dim)

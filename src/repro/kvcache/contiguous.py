@@ -1,0 +1,272 @@
+"""vAttention-style contiguous virtual extents (the ``contiguous`` backend).
+
+Pensieve's paged layout (§4.2) buys allocation flexibility by letting a
+sequence's tokens land on arbitrary pages; the price is that every
+kernel must gather through a block table.  vAttention (PAPERS.md) makes
+the opposite trade: reserve a *contiguous virtual* extent per sequence
+up front and commit physical pages into it on demand, so logical
+position ``i`` always lives at flat slot ``base + i`` and kernels read
+plain contiguous ranges.
+
+:class:`ContiguousArena` reproduces that trick with the repo's own
+machinery.  Slot *addresses* come from a per-conversation extent inside
+one enlarged virtual span (the backing :class:`~repro.kvcache.storage.KVStorage`
+is sized to the span; ``np.zeros`` means the OS commits physical memory
+lazily, which is literally vAttention's reservation trick in host
+memory).  Physical-capacity *accounting* still draws page grants from
+the shared :class:`~repro.kvcache.pages.PagePool` — a grant carries no
+address, it is a commit ticket — so capacity pressure surfaces as the
+same :class:`~repro.kvcache.pages.PagePoolExhausted` the serving stack
+already turns into swap-out/suspension decisions.
+
+The arena keeps the counters the paper's paged-vs-contiguous tradeoff
+discussion takes for granted:
+
+- ``commits`` / ``decommits`` — page-granularity commit events;
+- ``committed_pages`` — live commit tickets (reconciles exactly with
+  ``pool.num_allocated_pages`` when the pool is arena-only; pinned by
+  the random-walk property test in ``tests/kvcache/test_contiguous.py``);
+- ``commit_waste_slots`` — committed-but-unoccupied slots (internal
+  fragmentation of the page-granular commit);
+- ``reserved_uncommitted_tokens`` — reserved virtual space with no
+  physical backing (the external-fragmentation figure a true paged
+  allocator never pays).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.kvcache.pages import BlockTable, PagePool, PagePoolExhausted
+
+__all__ = ["ContiguousArena", "ContiguousBlockTable"]
+
+
+class ContiguousArena:
+    """A fixed span of per-conversation contiguous virtual extents.
+
+    Args:
+        pool: the shared page pool used for *commit accounting only* —
+            slot indices never come from it.
+        reserve_tokens: virtual extent size per table, in tokens; must be
+            a positive multiple of the pool's page size.  Size it to the
+            model's ``max_position`` so reservation overflow is
+            unreachable in serving.
+        max_extents: how many extents the span holds (conversations that
+            can be live at once, plus one for the pinned system prompt).
+    """
+
+    def __init__(
+        self, pool: PagePool, reserve_tokens: int, max_extents: int
+    ) -> None:
+        if reserve_tokens <= 0:
+            raise ValueError(
+                f"reserve_tokens must be positive, got {reserve_tokens}"
+            )
+        if reserve_tokens % pool.page_size != 0:
+            raise ValueError(
+                f"reserve_tokens ({reserve_tokens}) must be a multiple of "
+                f"the page size ({pool.page_size})"
+            )
+        if max_extents <= 0:
+            raise ValueError(f"max_extents must be positive, got {max_extents}")
+        self.pool = pool
+        self.reserve_tokens = reserve_tokens
+        self.max_extents = max_extents
+        # LIFO base list, low addresses handed out first.
+        self._free_bases: List[int] = [
+            base * reserve_tokens for base in range(max_extents - 1, -1, -1)
+        ]
+        self.commits = 0
+        self.decommits = 0
+        self.resident_tokens = 0
+        self.extents_reserved = 0
+        self.extents_released = 0
+
+    @property
+    def virtual_tokens(self) -> int:
+        """Total virtual span in tokens — the KVStorage size this arena
+        needs behind it."""
+        return self.max_extents * self.reserve_tokens
+
+    @property
+    def storage_slots(self) -> int:
+        """Alias satisfying the backend ``SlotAllocator`` protocol."""
+        return self.virtual_tokens
+
+    @property
+    def extents_in_use(self) -> int:
+        return self.max_extents - len(self._free_bases)
+
+    @property
+    def committed_pages(self) -> int:
+        """Live commit tickets (commit events minus decommit events)."""
+        return self.commits - self.decommits
+
+    @property
+    def committed_tokens(self) -> int:
+        return self.committed_pages * self.pool.page_size
+
+    @property
+    def commit_waste_slots(self) -> int:
+        """Committed-but-unoccupied slots: the internal fragmentation of
+        committing whole pages under token-granular growth."""
+        return self.committed_tokens - self.resident_tokens
+
+    @property
+    def reserved_uncommitted_tokens(self) -> int:
+        """Reserved virtual space with no physical backing — the
+        external-fragmentation cost of contiguous reservations."""
+        return self.extents_in_use * self.reserve_tokens - self.committed_tokens
+
+    def new_table(self) -> "ContiguousBlockTable":
+        """Reserve one extent and return its table.
+
+        Raises:
+            PagePoolExhausted: when every extent is reserved.
+        """
+        if not self._free_bases:
+            raise PagePoolExhausted(
+                f"no free extents ({self.max_extents} extents of "
+                f"{self.reserve_tokens} tokens)"
+            )
+        base = self._free_bases.pop()
+        self.extents_reserved += 1
+        return ContiguousBlockTable(self, base)
+
+    def _return_extent(self, base: int) -> None:
+        self._free_bases.append(base)
+        self.extents_released += 1
+
+    def _on_pages(self, delta: int) -> None:
+        if delta > 0:
+            self.commits += delta
+        elif delta < 0:
+            self.decommits -= delta
+
+    def stats(self) -> Dict[str, int]:
+        """Counter snapshot for experiment metadata / bench reports."""
+        return {
+            "reserve_tokens": self.reserve_tokens,
+            "virtual_tokens": self.virtual_tokens,
+            "extents_in_use": self.extents_in_use,
+            "commits": self.commits,
+            "decommits": self.decommits,
+            "committed_pages": self.committed_pages,
+            "resident_tokens": self.resident_tokens,
+            "commit_waste_slots": self.commit_waste_slots,
+            "reserved_uncommitted_tokens": self.reserved_uncommitted_tokens,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ContiguousArena(extents={self.extents_in_use}/"
+            f"{self.max_extents}, reserve={self.reserve_tokens}, "
+            f"committed_pages={self.committed_pages})"
+        )
+
+
+class ContiguousBlockTable(BlockTable):
+    """A block table whose flat slot for position ``i`` is ``base + i``.
+
+    Inherits the whole :class:`BlockTable` lifecycle — append / vacate /
+    restore / release, version counters, memoization — and keeps its page
+    list as *commit tickets* (page-granular budget grants from the shared
+    pool).  Only the address computation differs: slots are contiguous
+    within the extent, so readers get plain ranges.
+    """
+
+    def __init__(self, arena: ContiguousArena, base: int) -> None:
+        super().__init__(arena.pool)
+        self._arena = arena
+        self._base = base
+        self._extent_returned = False
+
+    @property
+    def base(self) -> int:
+        """First flat slot of this table's virtual extent."""
+        return self._base
+
+    def slot(self, position: int) -> int:
+        if not 0 <= position < self._length:
+            raise KeyError(f"position {position} out of range [0, {self._length})")
+        if self._pages[position // self.page_size] is None:
+            raise KeyError(f"position {position} has been vacated")
+        return self._base + position
+
+    def slots_array(self, start: int, end: int) -> np.ndarray:
+        if start >= end:
+            return np.empty(0, dtype=np.int64)
+        memo = self._slots_memo.get((start, end))
+        if memo is not None:
+            return memo
+        if start < 0 or start >= self._length:
+            raise KeyError(f"position {start} out of range [0, {self._length})")
+        if end > self._length:
+            raise KeyError(
+                f"position {self._length} out of range [0, {self._length})"
+            )
+        ps = self.page_size
+        first_page = start // ps
+        pages = self._pages[first_page : (end - 1) // ps + 1]
+        if any(page is None for page in pages):
+            offset = next(i for i, page in enumerate(pages) if page is None)
+            bad = max(start, (first_page + offset) * ps)
+            raise KeyError(f"position {bad} has been vacated")
+        result = np.arange(self._base + start, self._base + end, dtype=np.int64)
+        result.setflags(write=False)
+        if len(self._slots_memo) >= self._MEMO_CAP:
+            self._slots_memo.clear()
+        self._slots_memo[(start, end)] = result
+        return result
+
+    def append_tokens(self, count: int) -> None:
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        if self._extent_returned:
+            raise RuntimeError("table released; its extent has been returned")
+        if self._length + count > self._arena.reserve_tokens:
+            # The contiguous reservation is the hard ceiling — surfaced
+            # as capacity pressure so serving reacts the same way it
+            # does to an exhausted pool.
+            raise PagePoolExhausted(
+                f"extent reservation of {self._arena.reserve_tokens} tokens "
+                f"cannot hold {self._length + count}"
+            )
+        before = self.num_pages
+        super().append_tokens(count)
+        self._arena._on_pages(self.num_pages - before)
+        self._arena.resident_tokens += count
+
+    def vacate_front(self, count: int) -> None:
+        before = self.num_pages
+        super().vacate_front(count)
+        self._arena._on_pages(self.num_pages - before)
+        self._arena.resident_tokens -= count
+
+    def restore_front(self, count: int) -> List[int]:
+        if self._extent_returned:
+            raise RuntimeError("table released; its extent has been returned")
+        before = self.num_pages
+        slots = super().restore_front(count)
+        self._arena._on_pages(self.num_pages - before)
+        self._arena.resident_tokens += count
+        return slots
+
+    def release(self) -> None:
+        before_pages = self.num_pages
+        before_resident = self.resident_tokens
+        super().release()
+        self._arena._on_pages(self.num_pages - before_pages)
+        self._arena.resident_tokens -= before_resident
+        if not self._extent_returned:
+            self._extent_returned = True
+            self._arena._return_extent(self._base)
+
+    def __repr__(self) -> str:
+        return (
+            f"ContiguousBlockTable(base={self._base}, length={self._length}, "
+            f"vacated={self._vacated}, committed_pages={self.num_pages})"
+        )

@@ -1,4 +1,4 @@
-"""The shipped rule set (RPR001–RPR005).
+"""The shipped rule set (RPR001–RPR006).
 
 Each rule encodes one repo invariant that used to be enforced only by
 convention; see the class docstrings for the precise contract and
@@ -695,3 +695,93 @@ class KernelCopySmell(Rule):
             ):
                 return f"{dotted or func.attr}()"
         return None
+
+
+# ---------------------------------------------------------------------------
+# RPR006 — backend kernel routing
+# ---------------------------------------------------------------------------
+
+
+@register
+class BackendKernelRouting(Rule):
+    """Attention kernels are reached through ``repro.backends``, not
+    imported directly.
+
+    A backend (:mod:`repro.backends`) owns its attention kernels *and*
+    its slot-allocation layout as one atomically-swappable pair; a
+    serving-layer module that imports ``packed_decode_attention`` (or any
+    other attention entry point) directly re-hardwires half of that pair
+    and silently escapes the cross-backend equivalence matrix the bench
+    harness enforces.  This rule flags any import of an attention-kernel
+    *function* from ``repro.kernels`` outside the kernel package itself,
+    ``repro/backends/`` and ``repro/bench/`` (the harness times kernels
+    against their oracles by definition).  Types and pure helpers
+    (``AttentionRequest``, ``PackedDecodeCache``, ``resolve_scale``,
+    query-span splitting, …) stay importable from anywhere.  Kernel
+    experiments that study the kernels themselves suppress with
+    ``# repro: ignore[RPR006] -- why``.
+    """
+
+    code = "RPR006"
+    name = "backend-kernel-routing"
+    summary = "attention kernels reached via repro.backends, not direct imports"
+
+    ALLOWED_PREFIXES = (
+        "repro/kernels/",
+        "repro/backends/",
+        "repro/bench/",
+    )
+
+    #: The attention entry points a backend owns.  Deliberately *not*
+    #: the kernel types/helpers — those carry no kernel choice.
+    KERNEL_NAMES = frozenset(
+        {
+            "reference_attention",
+            "multi_token_attention",
+            "single_token_attention",
+            "batched_single_token_attention",
+            "vectorized_multi_token_attention",
+            "ragged_multi_token_attention",
+            "segment_masked_decode",
+            "packed_decode_attention",
+            "ring_decode_attention",
+            "copyout_attention",
+            "multiround_attention",
+        }
+    )
+
+    def run(self, project: Project) -> Iterator[Finding]:
+        for file in project.files_under("repro/"):
+            if any(file.subpath.startswith(p) for p in self.ALLOWED_PREFIXES):
+                continue
+            for node in file.walk():
+                if isinstance(node, ast.ImportFrom):
+                    module = node.module or ""
+                    if module != "repro.kernels" and not module.startswith(
+                        "repro.kernels."
+                    ):
+                        continue
+                    for alias in node.names:
+                        if alias.name in self.KERNEL_NAMES:
+                            yield self.finding(
+                                file,
+                                node,
+                                f"attention kernel `{alias.name}` imported "
+                                f"from `{module}`; route the call through "
+                                "the repro.backends interface so the "
+                                "kernel/layout pair stays swappable",
+                            )
+                elif isinstance(node, ast.Attribute):
+                    dotted = dotted_name(node) or ""
+                    head, _, attr = dotted.rpartition(".")
+                    if (
+                        attr in self.KERNEL_NAMES
+                        and head.split(".")[-1] == "kernels"
+                    ):
+                        yield self.finding(
+                            file,
+                            node,
+                            f"direct attention-kernel reference `{dotted}`; "
+                            "route the call through the repro.backends "
+                            "interface",
+                        )

@@ -26,19 +26,16 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.backends import Backend, get_backend
 from repro.kernels import (
     AttentionRequest,
-    batched_single_token_attention,
     disjoint_query_spans,
-    multi_token_attention,
-    ragged_multi_token_attention,
     split_disjoint_query,
 )
 from repro.kernels.packed_cache import (
     DecodeSlotSource,
     PackedBatch,
     PackedDecodeCache,
-    packed_decode_attention,
 )
 from repro.kvcache.storage import KVStorage
 from repro.model.config import ModelConfig
@@ -237,6 +234,7 @@ class PagedTransformer:
         seed: int = 0,
         use_fast_paths: bool = True,
         packing_cache: bool = True,
+        backend: "str | Backend" = "paged",
     ) -> None:
         if storage.config is not config and (
             storage.config.num_layers != config.num_layers
@@ -247,8 +245,15 @@ class PagedTransformer:
         self.config = config
         self.storage = storage
         self.use_fast_paths = use_fast_paths
+        # Every attention kernel is reached through the backend (RPR006);
+        # it also owns the decode packing cache's staging layout.
+        self.backend: Backend = (
+            get_backend(backend) if isinstance(backend, str) else backend
+        )
         self.decode_cache: Optional[PackedDecodeCache] = (
-            PackedDecodeCache() if (packing_cache and use_fast_paths) else None
+            self.backend.create_decode_cache()
+            if (packing_cache and use_fast_paths)
+            else None
         )
         rng = np.random.default_rng(seed)
         h = config.hidden_size
@@ -378,7 +383,7 @@ class PagedTransformer:
                 k = apply_rope(k, positions)
             write_slots = np.concatenate([p.write_slots for p in plans])
             self.storage.write(layer_idx, write_slots, k, v)
-            out = packed_decode_attention(
+            out = self.backend.decode_attention(
                 q,
                 packed,
                 layer_idx,
@@ -425,18 +430,20 @@ class PagedTransformer:
         k_layer = self.storage.k[layer_idx]
         v_layer = self.storage.v[layer_idx]
         if plans is None:
-            sub_outputs = multi_token_attention(kernel_requests, k_layer, v_layer)
+            sub_outputs = self.backend.multi_token_attention(
+                kernel_requests, k_layer, v_layer
+            )
         elif all(plan.decode_shaped for plan in plans):
             # All-generation batch: one packed pass over the cache for the
             # entire batch (vLLM's PagedAttention decode formulation).
-            sub_outputs = batched_single_token_attention(
+            sub_outputs = self.backend.batched_decode_attention(
                 kernel_requests, k_layer, v_layer
             )
         else:
             # Ragged prefill/mixed batch: one segment-packed pass for all
             # sub-requests (falls back internally to the per-request
             # vectorized kernel when padding would be pathological).
-            sub_outputs = ragged_multi_token_attention(
+            sub_outputs = self.backend.ragged_attention(
                 kernel_requests, k_layer, v_layer
             )
         for region, out in zip(owners, sub_outputs):

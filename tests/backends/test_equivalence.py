@@ -1,0 +1,167 @@
+"""Cross-backend equivalence: every backend is numerically the same model.
+
+Two layers of proof, mirroring the bench harness's in-measurement
+matrix: kernel-level (each backend's decode loop against the per-request
+oracle on its own slot layout) and serving-level (three
+:class:`StatefulChatServer` instances produce token-identical
+transcripts for the same workload).
+"""
+
+import numpy as np
+import pytest
+
+from repro.backends import backend_names, get_backend
+from repro.core.server import StatefulChatServer
+from repro.kernels import (
+    AttentionRequest,
+    DecodeSlotSource,
+    multi_token_attention,
+    single_token_attention,
+)
+from repro.kvcache.pages import PagePool
+from repro.model.config import tiny_opt_config
+
+TOLERANCE = 1e-6
+
+
+def _decode_loop(backend_name, batch, ctx, steps, num_heads, kv_heads, head_dim):
+    """Run a serving-shaped decode loop through one backend's full
+    allocator + cache + kernel stack; returns (outs, oracle_outs).
+
+    K/V values are keyed by (conversation, position) so different slot
+    layouts must still agree.
+    """
+    backend = get_backend(backend_name)
+    rng = np.random.default_rng(0)
+    page_size = 16
+    tokens = ctx + steps
+    reserve = -(-tokens // page_size) * page_size
+    pool = PagePool(batch * (reserve // page_size), page_size)
+    allocator = backend.create_allocator(
+        pool, reserve_tokens=reserve, max_tables=batch
+    )
+    keys = rng.standard_normal((batch, tokens, kv_heads, head_dim))
+    vals = rng.standard_normal((batch, tokens, kv_heads, head_dim))
+    queries = rng.standard_normal((steps, batch, num_heads, head_dim))
+    k_cache = np.zeros((allocator.storage_slots, kv_heads, head_dim))
+    v_cache = np.zeros((allocator.storage_slots, kv_heads, head_dim))
+    tables = []
+    for i in range(batch):
+        table = allocator.new_table()
+        table.append_tokens(ctx)
+        slots = table.slots_array(0, ctx)
+        k_cache[slots] = keys[i, :ctx]
+        v_cache[slots] = vals[i, :ctx]
+        tables.append(table)
+    cache = backend.create_decode_cache()
+    outs, oracle = [], []
+    for step in range(steps):
+        pos = ctx + step
+        for i, table in enumerate(tables):
+            table.append_tokens(1)
+            slot = table.slot(pos)
+            k_cache[slot] = keys[i, pos]
+            v_cache[slot] = vals[i, pos]
+        packed = cache.pack(
+            [DecodeSlotSource(key=i, table=t) for i, t in enumerate(tables)]
+        )
+        outs.append(
+            backend.decode_attention(queries[step], packed, 0, k_cache, v_cache)
+        )
+        requests = [
+            AttentionRequest(
+                query=queries[step, i : i + 1],
+                slots=table.slots_array(0, table.length),
+            )
+            for i, table in enumerate(tables)
+        ]
+        oracle.append(
+            np.concatenate(single_token_attention(requests, k_cache, v_cache))
+        )
+    return outs, oracle
+
+
+class TestKernelMatrix:
+    @pytest.mark.parametrize("name", ["paged", "paged-ring", "contiguous"])
+    def test_decode_loop_matches_per_request_oracle(self, name):
+        outs, oracle = _decode_loop(name, 4, 48, 6, 8, 2, 16)
+        for got, want in zip(outs, oracle):
+            assert np.abs(got - want).max() <= TOLERANCE
+
+    def test_all_backends_agree_with_each_other(self):
+        per_backend = {
+            name: _decode_loop(name, 4, 48, 6, 8, 2, 16)[0]
+            for name in backend_names()
+        }
+        baseline = per_backend["paged"]
+        for name, outs in per_backend.items():
+            for got, want in zip(outs, baseline):
+                assert np.abs(got - want).max() <= TOLERANCE, name
+
+    @pytest.mark.parametrize("name", ["paged", "paged-ring", "contiguous"])
+    def test_prefill_and_mixed_entry_points_match_oracle(self, name):
+        backend = get_backend(name)
+        rng = np.random.default_rng(1)
+        num_slots = 96
+        k_cache = rng.standard_normal((num_slots, 2, 16))
+        v_cache = rng.standard_normal((num_slots, 2, 16))
+        perm = rng.permutation(num_slots)
+        used = 0
+        requests = []
+        for q_len, ctx in [(6, 24), (4, 24), (1, 24), (1, 24)]:
+            slots = list(perm[used : used + ctx])
+            used += ctx
+            requests.append(
+                AttentionRequest(
+                    query=rng.standard_normal((q_len, 8, 16)), slots=slots
+                )
+            )
+        oracle = multi_token_attention(requests, k_cache, v_cache)
+        for entry in (backend.multi_token_attention, backend.ragged_attention):
+            got = entry(requests, k_cache, v_cache)
+            for g, w in zip(got, oracle):
+                assert np.abs(g - w).max() <= TOLERANCE
+
+
+class TestServingMatrix:
+    CAPS = dict(
+        gpu_capacity_tokens=1 << 12,
+        cpu_capacity_tokens=1 << 12,
+        chunk_size=16,
+        page_size=8,
+        seed=0,
+    )
+
+    def _transcripts(self, backend_name):
+        config = tiny_opt_config()
+        server = StatefulChatServer(config, backend=backend_name, **self.CAPS)
+        prompts = [
+            (conv, [(conv * 13 + i) % config.vocab_size for i in range(9)])
+            for conv in range(4)
+        ]
+        first = server.chat_batch(prompts, max_new_tokens=12)
+        followups = [
+            (conv, [(conv * 7 + i + 3) % config.vocab_size for i in range(5)])
+            for conv in range(4)
+        ]
+        second = server.chat_batch(followups, max_new_tokens=12)
+        return first, second, server
+
+    def test_token_identical_transcripts_across_backends(self):
+        baseline = self._transcripts("paged")[:2]
+        for name in ("paged-ring", "contiguous"):
+            assert self._transcripts(name)[:2] == baseline, name
+
+    def test_contiguous_server_accounts_its_commits(self):
+        _, _, server = self._transcripts("contiguous")
+        stats = server._allocator.stats()
+        assert stats["extents_in_use"] >= 4
+        assert stats["committed_pages"] == stats["commits"] - stats["decommits"]
+        assert stats["resident_tokens"] > 0
+        assert stats["commit_waste_slots"] >= 0
+        assert stats["reserved_uncommitted_tokens"] >= 0
+
+    def test_backend_name_is_recorded(self):
+        config = tiny_opt_config()
+        server = StatefulChatServer(config, backend="paged-ring", **self.CAPS)
+        assert server.backend_name == "paged-ring"

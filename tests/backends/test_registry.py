@@ -1,0 +1,68 @@
+"""Registry and selection-precedence tests for ``repro.backends``."""
+
+import pytest
+
+from repro.backends import (
+    Backend,
+    DEFAULT_BACKEND,
+    backend_names,
+    get_backend,
+    register,
+    resolve_backend,
+)
+
+
+class TestRegistry:
+    def test_three_backends_ship(self):
+        assert backend_names() == ("paged", "paged-ring", "contiguous")
+
+    def test_instances_are_shared(self):
+        assert get_backend("paged") is get_backend("paged")
+
+    def test_every_backend_names_itself(self):
+        for name in backend_names():
+            backend = get_backend(name)
+            assert backend.name == name
+            assert backend.summary
+
+    def test_unknown_name_lists_the_legal_ones(self):
+        with pytest.raises(ValueError, match="paged-ring"):
+            get_backend("flash")
+
+    def test_reregistration_rejected(self):
+        class Dupe(Backend):
+            name = "paged"
+
+        with pytest.raises(ValueError, match="already registered"):
+            register(Dupe)
+
+    def test_unnamed_backend_rejected(self):
+        class Anon(Backend):
+            pass
+
+        with pytest.raises(ValueError, match="no backend name"):
+            register(Anon)
+
+
+class TestResolvePrecedence:
+    def test_default_when_nothing_picks(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        assert resolve_backend() == DEFAULT_BACKEND == "paged"
+
+    def test_env_var_beats_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "paged-ring")
+        assert resolve_backend() == "paged-ring"
+
+    def test_explicit_name_beats_env_var(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "paged-ring")
+        assert resolve_backend("contiguous") == "contiguous"
+
+    def test_bogus_env_var_is_an_error(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "bogus")
+        with pytest.raises(ValueError, match="unknown backend"):
+            resolve_backend()
+
+    def test_bogus_explicit_name_is_an_error(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        with pytest.raises(ValueError, match="unknown backend"):
+            resolve_backend("bogus")

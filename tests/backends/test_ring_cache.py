@@ -1,0 +1,122 @@
+"""RingDecodeCache vs PackedDecodeCache: same math, different staging.
+
+The ring cache overrides only the staging-layout hooks, so driving both
+caches through identical table mutations must produce identical
+attention outputs *and* identical bookkeeping stats (packs, extends,
+repairs, rebuilds) — any divergence means the ring layout leaked into
+semantics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels import (
+    DecodeSlotSource,
+    PackedDecodeCache,
+    RingDecodeCache,
+    packed_decode_attention,
+    ring_decode_attention,
+)
+from repro.kvcache.pages import BlockTable, PagePool
+
+NUM_HEADS, KV_HEADS, HEAD_DIM = 8, 2, 16
+
+
+def _make_state(seed=0, num_pages=64, page_size=4):
+    rng = np.random.default_rng(seed)
+    pool = PagePool(num_pages, page_size)
+    num_slots = num_pages * page_size
+    k_cache = rng.standard_normal((num_slots, KV_HEADS, HEAD_DIM))
+    v_cache = rng.standard_normal((num_slots, KV_HEADS, HEAD_DIM))
+    return rng, pool, k_cache, v_cache
+
+
+def _drive(cache, attention, tables, steps, rng, k_cache, v_cache, pool):
+    """A lifecycle that exercises extend, repair (slots changed in
+    place), rebuild (membership change) and context growth."""
+    outs = []
+    for step in range(steps):
+        for table in tables:
+            table.append_tokens(1)
+        if step == 3:
+            # Vacate + restore: same row, different physical slots.
+            tables[0].vacate_front(4)
+            tables[0].restore_front(4)
+        if step == 5:
+            # Membership change: a new conversation joins mid-run.
+            newcomer = BlockTable(pool)
+            newcomer.append_tokens(6)
+            tables.append(newcomer)
+        packed = cache.pack(
+            [DecodeSlotSource(key=i, table=t) for i, t in enumerate(tables)]
+        )
+        queries = rng.standard_normal((len(tables), NUM_HEADS, HEAD_DIM))
+        outs.append(attention(queries, packed, 0, k_cache, v_cache))
+    return outs
+
+
+class TestRingLifecycleEquivalence:
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_outputs_and_stats_match_the_packed_cache(self, seed):
+        results = {}
+        for cache_cls, attention in (
+            (PackedDecodeCache, packed_decode_attention),
+            (RingDecodeCache, ring_decode_attention),
+        ):
+            rng, pool, k_cache, v_cache = _make_state(seed)
+            tables = []
+            for _ in range(4):
+                table = BlockTable(pool)
+                table.append_tokens(8)
+                tables.append(table)
+            query_rng = np.random.default_rng(seed + 100)
+            outs = _drive(
+                cache := cache_cls(), attention, tables, 10, query_rng,
+                k_cache, v_cache, pool,
+            )
+            results[cache_cls.__name__] = (outs, dict(cache.stats))
+        packed_outs, packed_stats = results["PackedDecodeCache"]
+        ring_outs, ring_stats = results["RingDecodeCache"]
+        for a, b in zip(packed_outs, ring_outs):
+            assert np.abs(a - b).max() <= 1e-12
+        assert ring_stats == packed_stats
+        assert packed_stats["extended_rows"] > 0
+        assert packed_stats["repaired_rows"] > 0
+        assert packed_stats["rebuilt_rows"] > 0
+
+    def test_ring_validates_query_count_like_packed(self):
+        rng, pool, k_cache, v_cache = _make_state()
+        table = BlockTable(pool)
+        table.append_tokens(4)
+        sources = [DecodeSlotSource(key=0, table=table)]
+        packed_c, ring_c = PackedDecodeCache(), RingDecodeCache()
+        bad = rng.standard_normal((2, NUM_HEADS, HEAD_DIM))
+        with pytest.raises(ValueError) as packed_err:
+            packed_decode_attention(bad, packed_c.pack(sources), 0, k_cache, v_cache)
+        with pytest.raises(ValueError) as ring_err:
+            ring_decode_attention(bad, ring_c.pack(sources), 0, k_cache, v_cache)
+        assert str(ring_err.value) == str(packed_err.value)
+
+    def test_ring_staging_is_blas_ready(self):
+        """The layout contract the speedup rests on: staged K exposes
+        [rows, kv, head_dim, ctx] and V [rows, kv, ctx, head_dim], both
+        sliceable to the live context without copying."""
+        rng, pool, k_cache, v_cache = _make_state()
+        tables = []
+        for _ in range(3):
+            table = BlockTable(pool)
+            table.append_tokens(6)
+            tables.append(table)
+        cache = RingDecodeCache()
+        packed = cache.pack(
+            [DecodeSlotSource(key=i, table=t) for i, t in enumerate(tables)]
+        )
+        queries = rng.standard_normal((3, NUM_HEADS, HEAD_DIM))
+        ring_decode_attention(queries, packed, 0, k_cache, v_cache)
+        staging = cache._staging[0]
+        assert staging.k.shape[1:3] == (KV_HEADS, HEAD_DIM)
+        assert staging.v.shape[1] == KV_HEADS
+        assert staging.v.shape[3] == HEAD_DIM
+        # Context is the trailing K axis: a [:, :, :, :n] slice keeps a
+        # BLAS-consumable stride pattern with no gather.
+        assert staging.k.shape[3] == staging.v.shape[2]

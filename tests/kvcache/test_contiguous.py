@@ -1,0 +1,205 @@
+"""Tests for the vAttention-style contiguous arena (``contiguous`` backend).
+
+The random-walk class is the commit-accounting property test: under
+arbitrary grow / suspend / resume / exit interleavings the arena's
+commit/decommit counters must reconcile *exactly* with slot-pool
+occupancy and per-table page counts — no drift, ever.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kvcache.contiguous import ContiguousArena, ContiguousBlockTable
+from repro.kvcache.pages import PagePool, PagePoolExhausted
+
+
+class TestArenaConstruction:
+    def test_rejects_non_positive_reserve(self):
+        pool = PagePool(num_pages=8, page_size=4)
+        with pytest.raises(ValueError):
+            ContiguousArena(pool, reserve_tokens=0, max_extents=2)
+
+    def test_rejects_unaligned_reserve(self):
+        pool = PagePool(num_pages=8, page_size=4)
+        with pytest.raises(ValueError):
+            ContiguousArena(pool, reserve_tokens=10, max_extents=2)
+
+    def test_rejects_non_positive_extents(self):
+        pool = PagePool(num_pages=8, page_size=4)
+        with pytest.raises(ValueError):
+            ContiguousArena(pool, reserve_tokens=8, max_extents=0)
+
+    def test_virtual_span_and_protocol_alias(self):
+        pool = PagePool(num_pages=8, page_size=4)
+        arena = ContiguousArena(pool, reserve_tokens=16, max_extents=3)
+        assert arena.virtual_tokens == 48
+        assert arena.storage_slots == 48
+
+
+class TestContiguousTable:
+    @pytest.fixture
+    def arena(self):
+        pool = PagePool(num_pages=16, page_size=4)
+        return ContiguousArena(pool, reserve_tokens=16, max_extents=4)
+
+    def test_slots_are_base_plus_position(self, arena):
+        table = arena.new_table()
+        table.append_tokens(10)
+        for i in range(10):
+            assert table.slot(i) == table.base + i
+
+    def test_slots_array_is_a_contiguous_range(self, arena):
+        table = arena.new_table()
+        table.append_tokens(10)
+        slots = table.slots_array(2, 9)
+        assert slots.tolist() == list(range(table.base + 2, table.base + 9))
+        assert not slots.flags.writeable
+        # Memoized: the same window returns the same array object.
+        assert table.slots_array(2, 9) is slots
+
+    def test_out_of_range_and_vacated_positions_raise(self, arena):
+        table = arena.new_table()
+        table.append_tokens(12)
+        with pytest.raises(KeyError):
+            table.slot(12)
+        with pytest.raises(KeyError):
+            table.slots_array(4, 13)
+        table.vacate_front(8)
+        with pytest.raises(KeyError):
+            table.slot(0)
+        with pytest.raises(KeyError):
+            table.slots_array(0, 12)
+        assert table.slot(8) == table.base + 8
+
+    def test_extents_are_finite(self, arena):
+        tables = [arena.new_table() for _ in range(4)]
+        with pytest.raises(PagePoolExhausted):
+            arena.new_table()
+        tables[0].release()
+        replacement = arena.new_table()
+        assert replacement.base == tables[0].base  # LIFO extent reuse
+
+    def test_reservation_overflow_is_capacity_pressure(self, arena):
+        table = arena.new_table()
+        table.append_tokens(16)
+        with pytest.raises(PagePoolExhausted):
+            table.append_tokens(1)
+        assert table.length == 16
+
+    def test_released_table_rejects_growth_and_restore(self, arena):
+        table = arena.new_table()
+        table.append_tokens(8)
+        table.release()
+        with pytest.raises(RuntimeError):
+            table.append_tokens(1)
+        with pytest.raises(RuntimeError):
+            table.restore_front(4)
+
+    def test_double_release_returns_extent_once(self, arena):
+        table = arena.new_table()
+        table.append_tokens(4)
+        table.release()
+        table.release()
+        assert arena.extents_in_use == 0
+        assert arena.extents_released == 1
+
+    def test_commit_tickets_draw_from_the_shared_pool(self):
+        pool = PagePool(num_pages=2, page_size=4)
+        arena = ContiguousArena(pool, reserve_tokens=16, max_extents=2)
+        table = arena.new_table()
+        table.append_tokens(8)  # both budget pages committed
+        other = arena.new_table()
+        with pytest.raises(PagePoolExhausted):
+            other.append_tokens(1)
+        assert other.length == 0
+        assert arena.committed_pages == 2
+
+
+class TestCommitAccountingRandomWalk:
+    """Commit/decommit counters reconcile exactly with pool occupancy
+    under random grow / suspend / resume / exit walks (the satellite
+    property test; mirrors the ``tests/pages`` random-walk style)."""
+
+    PAGE_SIZE = 4
+    RESERVE = 32
+    MAX_EXTENTS = 6
+    #: Less physical budget than virtual span, so commit pressure
+    #: (PagePoolExhausted mid-walk) is part of the walk.
+    POOL_PAGES = 24
+
+    def _check(self, arena, pool, live):
+        assert arena.committed_pages == pool.num_allocated_pages
+        assert arena.commits - arena.decommits == arena.committed_pages
+        assert arena.committed_pages == sum(t.num_pages for t in live)
+        assert arena.resident_tokens == sum(t.resident_tokens for t in live)
+        assert arena.extents_in_use == len(live)
+        assert arena.commit_waste_slots >= 0
+        assert arena.reserved_uncommitted_tokens >= 0
+        assert arena.committed_tokens == arena.committed_pages * self.PAGE_SIZE
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 7])
+    def test_walk_reconciles_after_every_op(self, seed):
+        rng = np.random.default_rng(seed)
+        pool = PagePool(num_pages=self.POOL_PAGES, page_size=self.PAGE_SIZE)
+        arena = ContiguousArena(
+            pool, reserve_tokens=self.RESERVE, max_extents=self.MAX_EXTENTS
+        )
+        live = []
+        for _ in range(400):
+            op = rng.choice(["admit", "grow", "suspend", "resume", "exit"])
+            if op == "admit":
+                if len(live) < self.MAX_EXTENTS:
+                    live.append(arena.new_table())
+                else:
+                    with pytest.raises(PagePoolExhausted):
+                        arena.new_table()
+            elif op == "grow" and live:
+                table = live[rng.integers(len(live))]
+                count = int(rng.integers(1, 7))
+                if table.length + count > self.RESERVE:
+                    with pytest.raises(PagePoolExhausted):
+                        table.append_tokens(count)
+                else:
+                    try:
+                        table.append_tokens(count)
+                    except PagePoolExhausted:
+                        pass  # physical budget pressure; no state change
+            elif op == "suspend" and live:
+                table = live[rng.integers(len(live))]
+                resident = table.resident_tokens
+                if resident == 0:
+                    continue
+                if rng.integers(2):
+                    count = resident  # vacate-all (may be unaligned)
+                else:
+                    aligned = (resident // self.PAGE_SIZE) * self.PAGE_SIZE
+                    # Alignment is relative to the page grid, so only a
+                    # page-aligned vacate boundary is legal mid-sequence.
+                    if aligned == 0 or table.vacated % self.PAGE_SIZE:
+                        count = resident
+                    else:
+                        count = int(rng.integers(1, aligned // self.PAGE_SIZE + 1))
+                        count *= self.PAGE_SIZE
+                table.vacate_front(count)
+            elif op == "resume" and live:
+                table = live[rng.integers(len(live))]
+                if table.vacated == 0:
+                    continue
+                try:
+                    table.restore_front(table.vacated)
+                except PagePoolExhausted:
+                    pass  # not enough commit budget to resume; no change
+            elif op == "exit" and live:
+                idx = int(rng.integers(len(live)))
+                live.pop(idx).release()
+            self._check(arena, pool, live)
+
+        for table in live:
+            table.release()
+        assert arena.committed_pages == 0
+        assert pool.num_allocated_pages == 0
+        assert arena.resident_tokens == 0
+        assert arena.extents_in_use == 0
+        assert arena.commit_waste_slots == 0
+        assert arena.reserved_uncommitted_tokens == 0
+        assert arena.commits == arena.decommits

@@ -1,0 +1,8 @@
+"""RPR006 negative fixture: backends are where kernels are wired up."""
+
+from repro.kernels import batched_single_token_attention, multi_token_attention
+from repro.kernels.packed_cache import packed_decode_attention
+
+
+def good_dispatch(queries, packed, k_cache, v_cache):
+    return packed_decode_attention(queries, packed, 0, k_cache, v_cache)

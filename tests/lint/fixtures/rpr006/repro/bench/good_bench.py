@@ -1,0 +1,7 @@
+"""RPR006 negative fixture: the harness times kernels against oracles."""
+
+from repro.kernels import single_token_attention
+
+
+def good_oracle(requests, k_cache, v_cache):
+    return single_token_attention(requests, k_cache, v_cache)

@@ -1,0 +1,7 @@
+"""RPR006 escape hatch: kernel experiments study the kernels themselves."""
+
+from repro.kernels import copyout_attention  # repro: ignore[RPR006] -- the straw-man kernel is the experiment's subject
+
+
+def good_strawman(requests, k_cache, v_cache):
+    return copyout_attention(requests, k_cache, v_cache)

@@ -28,13 +28,13 @@ class TestRepoIsClean:
         for finding, supp in result.suppressed:
             assert supp.justification, finding.located()
 
-    def test_all_five_rules_ran(self):
+    def test_all_six_rules_ran(self):
         result = run_lint(REPO_ROOT)
         assert result.rules_run == [
-            "RPR001", "RPR002", "RPR003", "RPR004", "RPR005",
+            "RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006",
         ]
         assert result.files_scanned > 50
-        assert len(all_rules()) == 5
+        assert len(all_rules()) == 6
 
 
 class TestCliSmoke:
@@ -48,7 +48,7 @@ class TestCliSmoke:
         payload = json.loads(capsys.readouterr().out)
         assert payload["summary"]["errors"] == 0
         assert [r["code"] for r in payload["rules"]] == [
-            "RPR001", "RPR002", "RPR003", "RPR004", "RPR005",
+            "RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006",
         ]
         # The --output artifact is byte-identical to stdout.
         assert json.loads(out_path.read_text()) == payload

@@ -95,6 +95,44 @@ class TestRPR005KernelCopySmell:
         )
 
 
+class TestRPR006BackendKernelRouting:
+    def test_flags_direct_kernel_imports_outside_backends(self, fixture_root):
+        result = run_lint(fixture_root("rpr006"))
+        findings = _by_rule(result, "RPR006")
+        # two names on the package import, one ring import, one dotted ref
+        assert len(findings) == 4
+        assert all(f.path.endswith("model/hardwired.py") for f in findings)
+        messages = " | ".join(f.message for f in findings)
+        assert "multi_token_attention" in messages
+        assert "packed_decode_attention" in messages
+        assert "ring_decode_attention" in messages
+        assert "repro.kernels.segment_masked_decode" in messages
+
+    def test_types_and_helpers_are_importable_anywhere(self, fixture_root):
+        result = run_lint(fixture_root("rpr006"))
+        assert not any(
+            f.path.endswith("model/good_types.py") for f in result.errors
+        )
+
+    def test_backends_and_bench_are_exempt(self, fixture_root):
+        result = run_lint(fixture_root("rpr006"))
+        assert not any(
+            f.path.endswith("backends/good_backend.py")
+            or f.path.endswith("bench/good_bench.py")
+            for f in result.errors
+        )
+
+    def test_justified_suppression_is_honoured(self, fixture_root):
+        result = run_lint(fixture_root("rpr006"))
+        assert not any(
+            f.path.endswith("experiments/suppressed.py") for f in result.errors
+        )
+        assert any(
+            f.rule == "RPR006" and f.path.endswith("experiments/suppressed.py")
+            for f, _ in result.suppressed
+        )
+
+
 class TestSuppressionPolicy:
     def test_justified_suppression_silences_finding(self, fixture_root):
         result = run_lint(fixture_root("suppress"))

@@ -90,6 +90,32 @@ class TestSimulate:
                 ]
             )
 
+    def test_explicit_backend_rejected_for_stateless_systems(self):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "simulate", "--system", "vllm", "--duration", "5",
+                    "--backend", "paged-ring",
+                ]
+            )
+
+    def test_env_backend_quietly_skips_stateless_systems(
+        self, capsys, monkeypatch
+    ):
+        # REPRO_BACKEND is a process-wide default (CI runs the whole
+        # tier-1 matrix under it); the stateless baselines model no KV
+        # backend, so the env default must not hard-fail on them the way
+        # an explicit --backend flag does.
+        monkeypatch.setenv("REPRO_BACKEND", "paged-ring")
+        rc = main(
+            [
+                "simulate", "--system", "vllm", "--model", "opt-13b",
+                "--rate", "2", "--duration", "40",
+            ]
+        )
+        assert rc == 0
+        assert "vLLM" in capsys.readouterr().out
+
     def test_simulate_vllm_has_no_cache_line(self, capsys):
         rc = main(
             [
